@@ -1,0 +1,27 @@
+"""Benchmark harness conventions.
+
+Every benchmark wraps one experiment module from ``repro.experiments`` in
+``benchmark.pedantic(..., rounds=1, iterations=1)`` (the experiments are
+minutes-scale parameter sweeps, not microbenchmarks), writes the rendered
+result table to ``benchmarks/out/<name>.txt``, and asserts the paper's
+qualitative shape — orderings and directions, never absolute numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR
+
+
+def save_and_print(result, out_dir: Path) -> None:
+    path = result.save(out_dir)
+    print(f"\n{result.table()}\n[saved to {path}]")

@@ -1,0 +1,145 @@
+"""Ablations: appendix theorems + design-choice checks from DESIGN.md."""
+
+import numpy as np
+from conftest import save_and_print
+
+from repro.experiments import thm_a1, thm_c1
+from repro.experiments.common import ExperimentResult, build_dblp_setting
+from repro.influence import InfluenceAnalyzer, lissa_inverse_hvp
+from repro.relaxation import RelaxedComplaintObjective
+
+
+def test_bench_thm_a1_ambiguity(benchmark, out_dir):
+    result = benchmark.pedantic(
+        thm_a1.run, kwargs={"n_values": (12, 24, 48, 96), "trials": 200},
+        rounds=1, iterations=1,
+    )
+    save_and_print(result, out_dir)
+    probs = [row["empirical_p_nonzero"] for row in result.rows]
+    # Converges toward zero as the queried set grows.
+    assert probs[-1] < probs[0]
+    for row in result.rows:
+        assert abs(row["empirical_p_nonzero"] - row["theory_p_nonzero"]) < 0.15
+
+
+def test_bench_thm_c1_value_of_complaints(benchmark, out_dir):
+    result = benchmark.pedantic(
+        thm_c1.run, kwargs={"k_values": (4, 16, 64, 256)}, rounds=1, iterations=1
+    )
+    save_and_print(result, out_dir)
+    losses = [row["max_corrupt_loss"] for row in result.rows]
+    assert losses[-1] < losses[0]
+    for row in result.rows:
+        assert row["complaint_recall@K"] == 1.0
+
+
+def _ablation_setting():
+    return build_dblp_setting(0.5, n_train=300, n_query=200, seed=0)
+
+
+def test_bench_cg_damping_sensitivity(benchmark, out_dir):
+    """Design check: rankings are stable across reasonable CG damping."""
+
+    def run():
+        setting = _ablation_setting()
+        objective_rows = []
+        from repro.complaints import ComplaintCase
+        from repro.relational import Executor, plan_sql
+
+        result = Executor(setting.database).execute(
+            plan_sql(setting.query, setting.database), debug=True
+        )
+        objective = RelaxedComplaintObjective(result, setting.case.complaints)
+        q_grad = objective.q_grad_theta()
+        baseline_top = None
+        experiment = ExperimentResult("ablation_cg_damping")
+        for damping in (0.0, 1e-4, 1e-2):
+            analyzer = InfluenceAnalyzer(
+                setting.model, setting.X_train, setting.y_corrupted,
+                damping=damping,
+            )
+            scores = analyzer.scores_from_q_grad(q_grad)
+            top = set(np.argsort(-scores)[:30].tolist())
+            if baseline_top is None:
+                baseline_top = top
+            overlap = len(top & baseline_top) / 30
+            experiment.rows.append(
+                {"damping": damping, "top30_overlap_vs_damping0": overlap}
+            )
+        return experiment
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print(result, out_dir)
+    for row in result.rows:
+        assert row["top30_overlap_vs_damping0"] >= 0.8
+
+
+def test_bench_deletion_vs_relabel(benchmark, out_dir):
+    """Extension ablation: deletion vs label-fixing intervention (paper §8)."""
+
+    def run():
+        from repro.core import RainDebugger
+        from repro.core.interventions import RelabelDebugger
+
+        setting = _ablation_setting()
+        initial = setting.model.get_params()
+        experiment = ExperimentResult("ablation_interventions")
+        for name, cls in (("delete", RainDebugger), ("relabel", RelabelDebugger)):
+            setting.model.set_params(initial)
+            debugger = cls(
+                setting.database, setting.model_name, setting.X_train,
+                setting.y_corrupted, [setting.case], method="holistic", rng=0,
+            )
+            report = debugger.run(
+                max_removals=len(setting.corrupted_indices), k_per_iteration=10
+            )
+            experiment.rows.append(
+                {
+                    "intervention": name,
+                    "auccr": report.auccr(setting.corrupted_indices),
+                    "records_touched": len(report.removal_order),
+                }
+            )
+        setting.model.set_params(initial)
+        return experiment
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print(result, out_dir)
+    for row in result.rows:
+        assert row["auccr"] > 0.5, row
+
+
+def test_bench_lissa_vs_cg(benchmark, out_dir):
+    """Design check: LiSSA and CG produce matching top-k rankings."""
+
+    def run():
+        setting = _ablation_setting()
+        from repro.relational import Executor, plan_sql
+
+        result = Executor(setting.database).execute(
+            plan_sql(setting.query, setting.database), debug=True
+        )
+        objective = RelaxedComplaintObjective(result, setting.case.complaints)
+        q_grad = objective.q_grad_theta()
+        analyzer = InfluenceAnalyzer(
+            setting.model, setting.X_train, setting.y_corrupted
+        )
+        cg_scores = analyzer.scores_from_q_grad(q_grad)
+        u = lissa_inverse_hvp(
+            lambda v: setting.model.hvp(setting.X_train, setting.y_corrupted, v),
+            q_grad, scale=50.0, iterations=4000,
+        )
+        lissa_scores = -setting.model.grad_dot(
+            setting.X_train, setting.y_corrupted, u
+        )
+        top_cg = set(np.argsort(-cg_scores)[:30].tolist())
+        top_lissa = set(np.argsort(-lissa_scores)[:30].tolist())
+        experiment = ExperimentResult("ablation_lissa_vs_cg")
+        experiment.rows.append(
+            {"top30_overlap": len(top_cg & top_lissa) / 30}
+        )
+        return experiment
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_and_print(result, out_dir)
+    assert result.rows[0]["top30_overlap"] >= 0.8

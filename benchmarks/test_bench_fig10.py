@@ -1,0 +1,23 @@
+"""Figure 10: robustness of Holistic to mis-specified complaints."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig10_misspec
+
+
+def test_bench_fig10(benchmark, out_dir):
+    result = benchmark.pedantic(fig10_misspec.run, rounds=1, iterations=1)
+    save_and_print(result, out_dir)
+
+    def auccr(variant, method="holistic"):
+        return result.row_lookup(variant=variant, method=method)["auccr"]
+
+    # Paper shape: right-direction misspecifications stay close to exact...
+    assert auccr("overshoot") >= auccr("exact") - 0.25
+    # ...while the wrong direction is clearly worse than exact.
+    assert auccr("wrong") < auccr("exact")
+    # Loss ignores complaints entirely: identical across variants.
+    loss_values = {
+        row["auccr"] for row in result.rows if row["method"] == "loss"
+    }
+    assert len(loss_values) == 1

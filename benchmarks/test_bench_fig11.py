@@ -1,0 +1,16 @@
+"""Figure 11 (Appendix D): debugging the CNN vs. logistic regression."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig11_nn
+
+
+def test_bench_fig11(benchmark, out_dir):
+    result = benchmark.pedantic(fig11_nn.run, rounds=1, iterations=1)
+    save_and_print(result, out_dir)
+    for model in ("logistic", "cnn"):
+        holistic = result.row_lookup(model=model, method="holistic")["auccr"]
+        loss = result.row_lookup(model=model, method="loss")["auccr"]
+        # Paper shape: Holistic dominates Loss on both model families.
+        assert holistic >= loss, model
+    assert result.row_lookup(model="cnn", method="holistic")["auccr"] > 0.3

@@ -1,0 +1,22 @@
+"""Figure 12 (Appendix D): per-iteration runtime, CNN vs. logistic."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig11_nn
+
+
+def test_bench_fig12(benchmark, out_dir):
+    result = benchmark.pedantic(
+        fig11_nn.run,
+        kwargs={"methods": ("loss", "holistic"), "n_train": 150, "n_query": 80},
+        rounds=1,
+        iterations=1,
+    )
+    result.name = "fig12_nn_runtime"
+    save_and_print(result, out_dir)
+    cnn_holistic = result.row_lookup(model="cnn", method="holistic")
+    lr_holistic = result.row_lookup(model="logistic", method="holistic")
+    # Paper shape: the CNN's rank step (Hessian-inverse via FD HVPs inside
+    # CG) dominates its iteration cost and far exceeds the linear model's.
+    assert cnn_holistic["rank_s"] > lr_holistic["rank_s"]
+    assert cnn_holistic["rank_s"] > cnn_holistic["encode_s"]

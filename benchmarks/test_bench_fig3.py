@@ -1,0 +1,27 @@
+"""Figure 3: DBLP recall curves across corruption rates, all four approaches."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig3_dblp_recall
+
+
+def test_bench_fig3(benchmark, out_dir):
+    result = benchmark.pedantic(
+        fig3_dblp_recall.run,
+        kwargs={"rates": (0.3, 0.5, 0.7), "n_train": 400, "n_query": 300},
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(result, out_dir)
+
+    def auccr(rate, method):
+        return result.row_lookup(corruption_rate=rate, method=method)["auccr"]
+
+    # Paper shape: Holistic dominates everything at every corruption rate.
+    for rate in (0.3, 0.5, 0.7):
+        for method in ("loss", "infloss", "twostep"):
+            assert auccr(rate, "holistic") >= auccr(rate, method), (rate, method)
+    # Holistic is near-perfect at medium corruption (paper: 0.99).
+    assert auccr(0.5, "holistic") > 0.9
+    # Loss-based methods degrade at high corruption rates (overfitting).
+    assert auccr(0.7, "loss") < 0.6

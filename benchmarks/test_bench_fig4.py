@@ -1,0 +1,20 @@
+"""Figure 4: model F1 vs. training corruption rate on DBLP."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig4_f1
+
+
+def test_bench_fig4(benchmark, out_dir):
+    result = benchmark.pedantic(
+        fig4_f1.run,
+        kwargs={"rates": (0.1, 0.3, 0.5, 0.6, 0.7, 0.8)},
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(result, out_dir)
+    f1 = {row["corruption_rate"]: row["f1_match"] for row in result.rows}
+    # Paper shape: robust at low rates, collapsing past ~50%.
+    assert f1[0.1] > 0.8
+    assert f1[0.8] < f1[0.1] - 0.2
+    assert f1[0.8] < f1[0.5]

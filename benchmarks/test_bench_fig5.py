@@ -1,0 +1,23 @@
+"""Figure 5: per-iteration Train/Encode/Rank runtime breakdown (DBLP 50%)."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig5_runtime
+
+
+def test_bench_fig5(benchmark, out_dir):
+    result = benchmark.pedantic(fig5_runtime.run, rounds=1, iterations=1)
+    save_and_print(result, out_dir)
+    ranking_cost = {
+        row["method"]: row["encode_s"] + row["rank_s"] for row in result.rows
+    }
+    total = {
+        row["method"]: row["train_s"] + row["encode_s"] + row["rank_s"]
+        for row in result.rows
+    }
+    # Paper shape: Loss avoids influence estimation entirely (cheapest
+    # ranking); InfLoss is the slowest approach by far (one CG solve per
+    # training record).
+    assert ranking_cost["loss"] <= min(ranking_cost.values()) + 1e-9
+    assert total["infloss"] >= max(total.values()) - 1e-9
+    assert ranking_cost["infloss"] > 3 * ranking_cost["loss"]

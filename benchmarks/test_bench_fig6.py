@@ -1,0 +1,31 @@
+"""Figure 6: MNIST join experiments (point complaints + COUNT complaint)."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig6_mnist_join
+
+
+def test_bench_fig6ab_point_complaints(benchmark, out_dir):
+    result = benchmark.pedantic(
+        fig6_mnist_join.run_point_complaints, rounds=1, iterations=1
+    )
+    save_and_print(result, out_dir)
+    rates = sorted({row["corruption_rate"] for row in result.rows})
+    assert rates, "no corruption rate produced join complaints"
+    for rate in rates:
+        holistic = result.row_lookup(corruption_rate=rate, method="holistic")
+        loss = result.row_lookup(corruption_rate=rate, method="loss")
+        # Paper shape (Fig 6a/6b): Holistic dominates Loss.
+        assert holistic["auccr"] >= loss["auccr"], rate
+
+
+def test_bench_fig6cd_count_complaint(benchmark, out_dir):
+    result = benchmark.pedantic(
+        fig6_mnist_join.run_count_complaint, rounds=1, iterations=1
+    )
+    save_and_print(result, out_dir)
+    for rate in (0.3, 0.5, 0.7):
+        holistic = result.row_lookup(corruption_rate=rate, method="holistic")
+        assert holistic["true_count"] == 0  # disjoint digit subsets
+        loss = result.row_lookup(corruption_rate=rate, method="loss")
+        assert holistic["auccr"] >= loss["auccr"] - 0.05, rate

@@ -1,0 +1,32 @@
+"""Figure 7: TwoStep converges to Holistic as complaint ambiguity drops."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig7_ambiguity
+
+
+def test_bench_fig7(benchmark, out_dir):
+    result = benchmark.pedantic(
+        fig7_ambiguity.run,
+        kwargs={"replaced_fractions": (0.1, 0.5, 0.8)},
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(result, out_dir)
+    if not result.rows:
+        raise AssertionError("ambiguity experiment produced no complaints")
+    # Holistic stays strong at every ambiguity level.
+    for fraction in (0.1, 0.5, 0.8):
+        holistic = result.row_lookup(replaced_fraction=fraction, method="holistic")
+        assert holistic["auccr"] > 0.3, fraction
+    # Paper shape: TwoStep's gap to Holistic shrinks as more complaints are
+    # replaced by unambiguous point complaints.
+    gap_low = (
+        result.row_lookup(replaced_fraction=0.1, method="holistic")["auccr"]
+        - result.row_lookup(replaced_fraction=0.1, method="twostep")["auccr"]
+    )
+    gap_high = (
+        result.row_lookup(replaced_fraction=0.8, method="holistic")["auccr"]
+        - result.row_lookup(replaced_fraction=0.8, method="twostep")["auccr"]
+    )
+    assert gap_high <= gap_low + 0.15

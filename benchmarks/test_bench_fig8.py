@@ -1,0 +1,28 @@
+"""Figure 8: multi-query complaints on Adult (duplicate-feature pathology)."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig8_multiquery
+
+
+def test_bench_fig8(benchmark, out_dir):
+    result = benchmark.pedantic(
+        fig8_multiquery.run, kwargs={"flip_fractions": (0.3, 0.5)},
+        rounds=1, iterations=1,
+    )
+    save_and_print(result, out_dir)
+    # The Section 6.5 preprocessing pathology is present.
+    assert all(row["unique_train"] <= 120 for row in result.rows)
+    for fraction in (0.3, 0.5):
+        both = result.row_lookup(
+            flip_fraction=fraction, complaints="both", method="holistic"
+        )["auccr"]
+        gender = result.row_lookup(
+            flip_fraction=fraction, complaints="gender", method="holistic"
+        )["auccr"]
+        loss = result.row_lookup(
+            flip_fraction=fraction, complaints="both", method="loss"
+        )["auccr"]
+        # Paper shape: combining complaints helps Holistic; Loss is blind.
+        assert both >= gender - 0.05, fraction
+        assert both > loss, fraction

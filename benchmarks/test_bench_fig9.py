@@ -1,0 +1,20 @@
+"""Figure 9: one aggregate complaint vs. many labeled point complaints."""
+
+from conftest import save_and_print
+
+from repro.experiments import fig9_effort
+
+
+def test_bench_fig9(benchmark, out_dir):
+    result = benchmark.pedantic(fig9_effort.run, rounds=1, iterations=1)
+    save_and_print(result, out_dir)
+    agg = result.row_lookup(complaint="agg (count)")["auccr"]
+    point_rows = [
+        row for row in result.rows if row["complaint"].startswith("point")
+    ]
+    assert agg > 0.5
+    if point_rows:
+        # Paper shape: a single aggregate complaint beats few point
+        # complaints; many point complaints approach it.
+        fewest = min(point_rows, key=lambda row: row["n_complaints"])
+        assert agg >= fewest["auccr"] - 0.1

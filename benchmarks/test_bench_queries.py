@@ -1,0 +1,14 @@
+"""Table 2: the Query 2.0 zoo (Q1-Q7) parses, plans, and executes."""
+
+from conftest import save_and_print
+
+from repro.experiments import queries
+
+
+def test_bench_query_zoo(benchmark, out_dir):
+    result = benchmark.pedantic(queries.run, rounds=1, iterations=1)
+    save_and_print(result, out_dir)
+    assert len(result.rows) == 7
+    for row in result.rows:
+        assert row["provenance_consistent"], row
+        assert row["inference_sites"] > 0

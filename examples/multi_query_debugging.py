@@ -1,0 +1,50 @@
+"""Section 6.5's scenario: combining complaints from multiple queries.
+
+Two analysts run different GROUP BY queries over the same census-income
+model.  One notices the male group's average predicted income is off; the
+other notices the 40s age bracket is off.  Each complaint alone is vague —
+the Adult preprocessing leaves at most 120 distinct feature vectors, so
+thousands of records look identical — but their *combination* pins the
+corruption down to the intersection (low-income men in their 40s whose
+labels a bad import flipped).
+
+Run:  python examples/multi_query_debugging.py
+"""
+
+import numpy as np
+
+from repro import RainDebugger
+from repro.experiments.fig8_multiquery import build_adult_setting
+
+
+def main() -> None:
+    setting = build_adult_setting(0.5, n_train=1500, n_query=1000, seed=2)
+    print(f"{setting.n_unique_train} unique feature vectors among "
+          f"{len(setting.X_train)} training records")
+    print(f"{len(setting.corrupted_indices)} labels were flipped by the bad "
+          "import (low-income men in their 40s)")
+
+    combos = {
+        "gender complaint only": [setting.gender_case],
+        "age complaint only": [setting.age_case],
+        "both complaints": [setting.gender_case, setting.age_case],
+    }
+    initial = setting.model.get_params()
+    for name, cases in combos.items():
+        setting.model.set_params(initial)
+        debugger = RainDebugger(
+            setting.database, "income", setting.X_train, setting.y_corrupted,
+            cases, method="holistic", rng=0,
+        )
+        report = debugger.run(
+            max_removals=len(setting.corrupted_indices), k_per_iteration=10
+        )
+        print(f"{name:>24}: AUCCR = "
+              f"{report.auccr(setting.corrupted_indices):.2f}")
+
+    print("combining complaints narrows the search to the corrupted "
+          "subspace — the paper's Figure 8 effect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Rain: complaint-driven training data debugging for Query 2.0.
+
+A from-scratch reproduction of Wu, Flokas, Wu & Wang, SIGMOD 2020.
+
+Quickstart::
+
+    from repro import (
+        Database, Relation, LogisticRegression, RainDebugger,
+        ComplaintCase, ValueComplaint,
+    )
+
+    db = Database()
+    db.add_relation(Relation("emails", {"features": X_query, "text": texts}))
+    model = LogisticRegression(("ham", "spam"), n_features=X_train.shape[1])
+    model.fit(X_train, y_train_corrupted)
+    db.add_model("spamclf", model)
+
+    case = ComplaintCase(
+        "SELECT COUNT(*) FROM emails WHERE predict(*) = 'spam'",
+        [ValueComplaint(column="count", op="=", value=true_count, row_index=0)],
+    )
+    debugger = RainDebugger(db, "spamclf", X_train, y_train_corrupted, [case],
+                            method="holistic")
+    report = debugger.run(max_removals=50, k_per_iteration=10)
+    print(report.removal_order)
+"""
+
+from .complaints import (
+    ComplaintCase,
+    PredictionComplaint,
+    TupleComplaint,
+    ValueComplaint,
+)
+from .core import (
+    DebugReport,
+    RainDebugger,
+    auccr,
+    auccr_normalized,
+    recall_at_k,
+    recall_curve,
+)
+from .errors import ReproError
+from .ml import (
+    LogisticRegression,
+    NeuralClassifier,
+    SoftmaxRegression,
+    make_cnn,
+    make_mlp,
+)
+from .relational import Database, Executor, Relation, plan_sql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComplaintCase", "PredictionComplaint", "TupleComplaint", "ValueComplaint",
+    "DebugReport", "RainDebugger",
+    "auccr", "auccr_normalized", "recall_at_k", "recall_curve",
+    "ReproError",
+    "LogisticRegression", "NeuralClassifier", "SoftmaxRegression",
+    "make_cnn", "make_mlp",
+    "Database", "Executor", "Relation", "plan_sql",
+    "__version__",
+]

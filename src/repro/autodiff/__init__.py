@@ -1,0 +1,36 @@
+"""Tape-based reverse-mode autodiff (the TensorFlow stand-in)."""
+
+from .nn import Conv2D, Dense, Flatten, MaxPool2D, Module, ReLU, Sequential
+from .tensor import (
+    Tensor,
+    add,
+    concat_rows,
+    conv2d,
+    div,
+    exp,
+    log,
+    log_softmax,
+    matmul,
+    maxpool2d,
+    mean,
+    mul,
+    pick,
+    power,
+    relu,
+    reshape,
+    sigmoid,
+    softmax,
+    sub,
+    sum_,
+    take_rows,
+    tanh,
+    transpose,
+)
+
+__all__ = [
+    "Conv2D", "Dense", "Flatten", "MaxPool2D", "Module", "ReLU", "Sequential",
+    "Tensor", "add", "concat_rows", "conv2d", "div", "exp", "log",
+    "log_softmax", "matmul", "maxpool2d", "mean", "mul", "pick", "power",
+    "relu", "reshape", "sigmoid", "softmax", "sub", "sum_", "take_rows",
+    "tanh", "transpose",
+]

@@ -1,0 +1,155 @@
+"""Neural-network layers on top of the autodiff engine.
+
+Layers hold their parameters as :class:`~repro.autodiff.tensor.Tensor`
+objects with ``requires_grad=True``.  Networks expose a flat parameter
+vector (``get_flat`` / ``set_flat``), which is the representation the
+influence-function machinery works in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..utils import as_rng
+from . import tensor as T
+from .tensor import Tensor
+
+
+class Module:
+    """Base class: a callable graph fragment with named parameters."""
+
+    def parameters(self) -> list[Tensor]:
+        return []
+
+    def __call__(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    # -- flat parameter vector -------------------------------------------------
+
+    def n_params(self) -> int:
+        return int(sum(param.size for param in self.parameters()))
+
+    def get_flat(self) -> np.ndarray:
+        params = self.parameters()
+        if not params:
+            return np.zeros(0)
+        return np.concatenate([param.data.ravel() for param in params])
+
+    def set_flat(self, flat: np.ndarray) -> None:
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.shape != (self.n_params(),):
+            raise ValueError(
+                f"flat vector has shape {flat.shape}, expected ({self.n_params()},)"
+            )
+        offset = 0
+        for param in self.parameters():
+            size = param.size
+            param.data = flat[offset:offset + size].reshape(param.shape).copy()
+            offset += size
+
+    def grad_flat(self) -> np.ndarray:
+        """Flattened gradient after a backward pass (zeros where absent)."""
+        chunks = []
+        for param in self.parameters():
+            if param.grad is None:
+                chunks.append(np.zeros(param.size))
+            else:
+                chunks.append(param.grad.ravel())
+        return np.concatenate(chunks) if chunks else np.zeros(0)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+
+class Dense(Module):
+    """Fully-connected layer ``x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng=None, bias: bool = True) -> None:
+        rng = as_rng(rng)
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = Tensor(
+            rng.uniform(-scale, scale, size=(in_features, out_features)),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+
+    def parameters(self) -> list[Tensor]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = T.matmul(x, self.weight)
+        if self.bias is not None:
+            out = T.add(out, self.bias)
+        return out
+
+
+class Conv2D(Module):
+    """Valid 2-d convolution, stride 1."""
+
+    def __init__(
+        self, in_channels: int, out_channels: int, kernel_size: int, rng=None
+    ) -> None:
+        rng = as_rng(rng)
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = 1.0 / np.sqrt(fan_in)
+        self.weight = Tensor(
+            rng.uniform(
+                -scale, scale,
+                size=(out_channels, in_channels, kernel_size, kernel_size),
+            ),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_channels), requires_grad=True)
+
+    def parameters(self) -> list[Tensor]:
+        return [self.weight, self.bias]
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return T.conv2d(x, self.weight, self.bias)
+
+
+class MaxPool2D(Module):
+    """Non-overlapping max pooling."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return T.maxpool2d(x, self.size)
+
+
+class Flatten(Module):
+    """Collapse all but the batch dimension."""
+
+    def __call__(self, x: Tensor) -> Tensor:
+        n = x.shape[0]
+        return T.reshape(x, (n, -1))
+
+
+class ReLU(Module):
+    def __call__(self, x: Tensor) -> Tensor:
+        return T.relu(x)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, layers: Sequence[Module]) -> None:
+        self.layers = list(layers)
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def __call__(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x

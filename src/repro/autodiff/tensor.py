@@ -1,0 +1,492 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This is the library's stand-in for the paper's TensorFlow substrate: a
+tape-based autodiff engine sufficient for logistic/softmax regression and
+small convolutional networks, producing exact gradients (verified against
+finite differences in the test suite).
+
+Design notes:
+
+- ``Tensor`` wraps a float64 numpy array; ``backward()`` runs a topological
+  reverse sweep accumulating ``grad`` on every ``requires_grad`` tensor.
+- Broadcasting is supported by un-broadcasting gradients back to the
+  operand's shape (:func:`_unbroadcast`).
+- The graph is built eagerly and is single-use per backward pass (grads can
+  be zeroed and re-run, matching how the training loop uses it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were expanded from 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A node in the autodiff graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward_fn: Callable[[np.ndarray], None] | None = None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad
+        self._parents = tuple(parents)
+        self._backward_fn = backward_fn
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Reverse sweep from this tensor.
+
+        ``grad`` defaults to 1 for scalar outputs (the usual loss case).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar"
+                )
+            grad = np.ones_like(self.data)
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+        self._accumulate(np.asarray(grad, dtype=np.float64))
+        for node in reversed(order):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    # -- operators -------------------------------------------------------------
+
+    def __add__(self, other) -> "Tensor":
+        return add(self, _as_tensor(other))
+
+    def __radd__(self, other) -> "Tensor":
+        return add(_as_tensor(other), self)
+
+    def __sub__(self, other) -> "Tensor":
+        return sub(self, _as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return sub(_as_tensor(other), self)
+
+    def __mul__(self, other) -> "Tensor":
+        return mul(self, _as_tensor(other))
+
+    def __rmul__(self, other) -> "Tensor":
+        return mul(_as_tensor(other), self)
+
+    def __truediv__(self, other) -> "Tensor":
+        return div(self, _as_tensor(other))
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return div(_as_tensor(other), self)
+
+    def __neg__(self) -> "Tensor":
+        return mul(self, _as_tensor(-1.0))
+
+    def __matmul__(self, other) -> "Tensor":
+        return matmul(self, _as_tensor(other))
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        return power(self, exponent)
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return sum_(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape) -> "Tensor":
+        return reshape(self, shape if len(shape) > 1 else shape[0])
+
+    @property
+    def T(self) -> "Tensor":
+        return transpose(self)
+
+
+def _as_tensor(value) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def _make(
+    data: np.ndarray,
+    parents: Sequence[Tensor],
+    backward_fn: Callable[[np.ndarray], None],
+) -> Tensor:
+    requires = any(parent.requires_grad for parent in parents)
+    if not requires:
+        return Tensor(data)
+    return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+
+
+# -- elementwise arithmetic ---------------------------------------------------
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data - b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(-grad, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * b.data, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * a.data, b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data / b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad / b.data, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(-grad * a.data / (b.data ** 2), b.shape))
+
+    return _make(out_data, (a, b), backward)
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    out_data = a.data ** exponent
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * exponent * a.data ** (exponent - 1))
+
+    return _make(out_data, (a,), backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    out_data = np.exp(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * out_data)
+
+    return _make(out_data, (a,), backward)
+
+
+def log(a: Tensor) -> Tensor:
+    out_data = np.log(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad / a.data)
+
+    return _make(out_data, (a,), backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    out_data = _stable_sigmoid(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * out_data * (1.0 - out_data))
+
+    return _make(out_data, (a,), backward)
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def tanh(a: Tensor) -> Tensor:
+    out_data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * (1.0 - out_data ** 2))
+
+    return _make(out_data, (a,), backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    out_data = np.maximum(a.data, 0.0)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * (a.data > 0.0))
+
+    return _make(out_data, (a,), backward)
+
+
+# -- linear algebra & shaping ---------------------------------------------------
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad @ b.data.T if b.data.ndim == 2 else np.outer(grad, b.data))
+        if b.requires_grad:
+            b._accumulate(a.data.T @ grad if a.data.ndim == 2 else np.outer(a.data, grad))
+
+    return _make(out_data, (a, b), backward)
+
+
+def transpose(a: Tensor) -> Tensor:
+    out_data = a.data.T
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad.T)
+
+    return _make(out_data, (a,), backward)
+
+
+def reshape(a: Tensor, shape) -> Tensor:
+    out_data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad.reshape(a.shape))
+
+    return _make(out_data, (a,), backward)
+
+
+def sum_(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        if not a.requires_grad:
+            return
+        expanded = grad
+        if axis is not None and not keepdims:
+            expanded = np.expand_dims(grad, axis=axis)
+        a._accumulate(np.broadcast_to(expanded, a.shape).copy())
+
+    return _make(out_data, (a,), backward)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    if axis is None:
+        count = a.data.size
+    elif isinstance(axis, int):
+        count = a.data.shape[axis]
+    else:
+        count = int(np.prod([a.data.shape[ax] for ax in axis]))
+    return mul(sum_(a, axis=axis, keepdims=keepdims), _as_tensor(1.0 / count))
+
+
+def take_rows(a: Tensor, indices: np.ndarray) -> Tensor:
+    """Row selection ``a[indices]`` with scatter-add backward."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = a.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            np.add.at(full, indices, grad)
+            a._accumulate(full)
+
+    return _make(out_data, (a,), backward)
+
+
+def pick(a: Tensor, column_indices: np.ndarray) -> Tensor:
+    """Per-row column selection ``a[i, column_indices[i]]``."""
+    column_indices = np.asarray(column_indices, dtype=np.int64)
+    rows = np.arange(a.shape[0])
+    out_data = a.data[rows, column_indices]
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            full = np.zeros_like(a.data)
+            full[rows, column_indices] = grad
+            a._accumulate(full)
+
+    return _make(out_data, (a,), backward)
+
+
+def log_softmax(a: Tensor) -> Tensor:
+    """Numerically stable log-softmax along the last axis."""
+    shifted = a.data - a.data.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    out_data = shifted - log_z
+    softmax_data = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad - softmax_data * grad.sum(axis=-1, keepdims=True))
+
+    return _make(out_data, (a,), backward)
+
+
+def softmax(a: Tensor) -> Tensor:
+    return exp(log_softmax(a))
+
+
+def concat_rows(tensors: Sequence[Tensor]) -> Tensor:
+    """Concatenate along axis 0."""
+    data = np.concatenate([tensor.data for tensor in tensors], axis=0)
+    offsets = np.cumsum([0] + [tensor.data.shape[0] for tensor in tensors])
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                tensor._accumulate(grad[start:stop])
+
+    return _make(data, tuple(tensors), backward)
+
+
+# -- convolution / pooling -------------------------------------------------------
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int) -> tuple[np.ndarray, tuple[int, int]]:
+    """(N, C, H, W) -> (N, out_h, out_w, C*kh*kw) patch matrix, stride 1."""
+    n, c, h, w = x.shape
+    out_h, out_w = h - kh + 1, w - kw + 1
+    strides = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(strides[0], strides[1], strides[2], strides[3], strides[2], strides[3]),
+        writeable=False,
+    )
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h, out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Valid convolution, stride 1.  x: (N,C,H,W); weight: (F,C,KH,KW)."""
+    f, c, kh, kw = weight.shape
+    cols, (out_h, out_w) = _im2col(x.data, kh, kw)
+    w_mat = weight.data.reshape(f, c * kh * kw)
+    out_data = cols @ w_mat.T  # (N, out_h, out_w, F)
+    out_data = out_data.transpose(0, 3, 1, 2)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, f, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_nhwf = grad.transpose(0, 2, 3, 1)  # (N, out_h, out_w, F)
+        if weight.requires_grad:
+            grad_w = np.einsum("nhwf,nhwk->fk", grad_nhwf, cols)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_nhwf.sum(axis=(0, 1, 2)))
+        if x.requires_grad:
+            grad_cols = grad_nhwf @ w_mat  # (N, out_h, out_w, C*kh*kw)
+            grad_x = np.zeros_like(x.data)
+            n = x.data.shape[0]
+            patches = grad_cols.reshape(n, out_h, out_w, c, kh, kw)
+            for dy in range(kh):
+                for dx in range(kw):
+                    grad_x[:, :, dy:dy + out_h, dx:dx + out_w] += patches[
+                        :, :, :, :, dy, dx
+                    ].transpose(0, 3, 1, 2)
+            x._accumulate(grad_x)
+
+    return _make(out_data, parents, backward)
+
+
+def maxpool2d(x: Tensor, size: int) -> Tensor:
+    """Non-overlapping max pooling with kernel = stride = ``size``."""
+    n, c, h, w = x.shape
+    if h % size or w % size:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by pool size {size}")
+    out_h, out_w = h // size, w // size
+    blocks = x.data.reshape(n, c, out_h, size, out_w, size)
+    out_data = blocks.max(axis=(3, 5))
+    # Mask of maxima for routing gradients (ties split the gradient evenly).
+    expanded = out_data[:, :, :, None, :, None]
+    mask = (blocks == expanded).astype(np.float64)
+    mask_sum = mask.sum(axis=(3, 5), keepdims=True)
+    mask = mask / mask_sum
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            grad_blocks = grad[:, :, :, None, :, None] * mask
+            x._accumulate(grad_blocks.reshape(n, c, h, w))
+
+    return _make(out_data, (x,), backward)

@@ -1,0 +1,82 @@
+"""Evaluation metrics: recall@k curves and AUCCR (Section 6.1.5).
+
+The paper reports *corruption-recall curves*: for a ranked deletion
+sequence and a ground-truth set of K corrupted training records,
+``r_k`` is the fraction of true corruptions among the first ``k``
+deletions, for ``k = 1..K``.  AUCCR is their normalized average
+``(2/K) Σ_k r_k`` (the factor 2 normalizes against the perfect curve's
+area of ~1/2).  We additionally provide :func:`auccr_normalized`, which
+divides by the perfect curve's AUCCR so a flawless ranking scores exactly
+1.0 regardless of K.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def recall_curve(
+    removal_order: Sequence[int],
+    corrupted_indices: Sequence[int],
+    k_max: int | None = None,
+) -> np.ndarray:
+    """``r_k`` for k = 1..k_max (default: K = number of corruptions).
+
+    ``removal_order`` may be shorter than ``k_max``; the curve is flat once
+    the sequence is exhausted (no further corruptions can be found).
+    """
+    corrupted = set(int(i) for i in corrupted_indices)
+    if not corrupted:
+        raise ValueError("corrupted_indices must be non-empty")
+    k = len(corrupted) if k_max is None else int(k_max)
+    if k <= 0:
+        raise ValueError(f"k_max must be positive, got {k}")
+    curve = np.zeros(k)
+    found = 0
+    for position in range(k):
+        if position < len(removal_order) and int(removal_order[position]) in corrupted:
+            found += 1
+        curve[position] = found / len(corrupted)
+    return curve
+
+
+def auccr(recalls: np.ndarray) -> float:
+    """The paper's AUCCR: ``(2/K) Σ_k r_k``."""
+    recalls = np.asarray(recalls, dtype=np.float64)
+    if recalls.size == 0:
+        raise ValueError("empty recall curve")
+    return float(2.0 * recalls.mean())
+
+
+def auccr_normalized(recalls: np.ndarray) -> float:
+    """AUCCR divided by the perfect curve's AUCCR (flawless ranking = 1.0)."""
+    recalls = np.asarray(recalls, dtype=np.float64)
+    k = recalls.size
+    perfect = np.arange(1, k + 1, dtype=np.float64) / k
+    return float(recalls.mean() / perfect.mean())
+
+
+def precision_at_k(
+    removal_order: Sequence[int], corrupted_indices: Sequence[int], k: int
+) -> float:
+    """Fraction of the first ``k`` removals that are true corruptions."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    corrupted = set(int(i) for i in corrupted_indices)
+    top = [int(i) for i in removal_order[:k]]
+    if not top:
+        return 0.0
+    return sum(1 for index in top if index in corrupted) / len(top)
+
+
+def recall_at_k(
+    removal_order: Sequence[int], corrupted_indices: Sequence[int], k: int
+) -> float:
+    """Fraction of true corruptions found within the first ``k`` removals."""
+    corrupted = set(int(i) for i in corrupted_indices)
+    if not corrupted:
+        raise ValueError("corrupted_indices must be non-empty")
+    top = set(int(i) for i in removal_order[:k])
+    return len(top & corrupted) / len(corrupted)

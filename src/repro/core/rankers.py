@@ -1,0 +1,218 @@
+"""Training-record rankers: Loss, InfLoss, TwoStep, Holistic.
+
+Every approach in Section 6.1.1 is a :class:`Ranker`: given the current
+iteration context (fitted model, active training records, executed queries,
+complaints) it produces one score per active training record; the
+train-rank-fix driver removes the top-k by score, descending.
+
+Timing convention (for the paper's Figure 5/12 runtime breakdown): rankers
+charge work to the context stopwatch under ``encode`` (building the
+influence objective — ILP solving for TwoStep, relaxation sweeps for
+Holistic) and ``rank`` (the CG solve + per-record gradient dot products).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..complaints.complaint import ComplaintCase, PredictionComplaint
+from ..errors import DebuggingError, ILPTimeoutError, InfeasibleError
+from ..ilp.encode import TiresiasEncoder
+from ..ilp.solver import enumerate_optima, pick_solution
+from ..influence.functions import InfluenceAnalyzer, q_grad_for_target_predictions
+from ..relational.executor import QueryResult
+from ..relaxation.objective import RelaxedComplaintObjective
+from ..utils import Stopwatch
+
+
+@dataclass
+class IterationContext:
+    """Everything a ranker may need for one train-rank-fix iteration."""
+
+    model: object
+    X_active: np.ndarray
+    y_active: np.ndarray
+    analyzer: InfluenceAnalyzer
+    case_results: list[tuple[ComplaintCase, QueryResult]]
+    rng: np.random.Generator
+    watch: Stopwatch
+    diagnostics: dict = field(default_factory=dict)
+
+
+class Ranker:
+    """Interface: one score per active training record, higher = remove first."""
+
+    name = "ranker"
+
+    def scores(self, ctx: IterationContext) -> np.ndarray:
+        raise NotImplementedError
+
+
+class LossRanker(Ranker):
+    """Rank by training loss, highest first (the Loss baseline)."""
+
+    name = "loss"
+
+    def scores(self, ctx: IterationContext) -> np.ndarray:
+        with ctx.watch.time("rank"):
+            return ctx.analyzer.training_losses()
+
+
+class InfLossRanker(Ranker):
+    """Self-influence ranking [Koh & Liang 2017] (the InfLoss baseline).
+
+    Scores are the negated self-influence ``∇ℓᵀH⁻¹∇ℓ``: records whose own
+    loss would grow fastest if removed come first.  One CG solve per record
+    — the paper's slowest method by far.
+    """
+
+    name = "infloss"
+
+    def __init__(self, max_records: int | None = None) -> None:
+        self.max_records = max_records
+
+    def scores(self, ctx: IterationContext) -> np.ndarray:
+        with ctx.watch.time("rank"):
+            return -ctx.analyzer.self_influence(max_records=self.max_records)
+
+
+class HolisticRanker(Ranker):
+    """The Holistic approach (Section 5.3): influence on relaxed complaints."""
+
+    name = "holistic"
+
+    def scores(self, ctx: IterationContext) -> np.ndarray:
+        with ctx.watch.time("encode"):
+            q_grad = np.zeros(ctx.model.n_params)
+            q_total = 0.0
+            for case, result in ctx.case_results:
+                objective = RelaxedComplaintObjective(result, case.complaints)
+                q_grad += objective.q_grad_theta()
+                q_total += objective.q_value()
+            ctx.diagnostics["q_value"] = q_total
+        with ctx.watch.time("rank"):
+            return ctx.analyzer.scores_from_q_grad(q_grad)
+
+
+class TwoStepRanker(Ranker):
+    """The TwoStep approach (Section 5.2): ILP fix, then influence.
+
+    ``ambiguity_cap`` bounds how many optimal ILP solutions are enumerated;
+    the enumerated count is reported as the iteration's ambiguity and the
+    "opaque solver pick" is a seeded uniform draw among them (Theorem A.1's
+    model).  Set ``ambiguity_cap=1`` to take the solver's first optimum.
+    """
+
+    name = "twostep"
+
+    def __init__(
+        self,
+        ambiguity_cap: int = 20,
+        node_limit: int = 20000,
+        time_limit: float | None = 60.0,
+        on_failure: str = "zeros",
+    ) -> None:
+        if on_failure not in ("zeros", "raise"):
+            raise DebuggingError("on_failure must be 'zeros' or 'raise'")
+        self.ambiguity_cap = ambiguity_cap
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+        self.on_failure = on_failure
+
+    def scores(self, ctx: IterationContext) -> np.ndarray:
+        with ctx.watch.time("encode"):
+            try:
+                marked = self._marked_mispredictions(ctx)
+            except (ILPTimeoutError, InfeasibleError) as exc:
+                ctx.diagnostics["ilp_failure"] = str(exc)
+                if self.on_failure == "raise":
+                    raise
+                return np.zeros(ctx.X_active.shape[0])
+            ctx.diagnostics["n_marked"] = len(marked)
+            if not marked:
+                # The complaints are already satisfiable without changing any
+                # prediction; nothing to trace back.
+                return np.zeros(ctx.X_active.shape[0])
+            q_grad = self._q_grad(ctx, marked)
+        with ctx.watch.time("rank"):
+            return ctx.analyzer.scores_from_q_grad(q_grad)
+
+    # -- SQL step -------------------------------------------------------------
+
+    def _marked_mispredictions(
+        self, ctx: IterationContext
+    ) -> list[tuple[QueryResult, int, object]]:
+        """(result, site_id, target_label) across all complaint cases."""
+        marked: list[tuple[QueryResult, int, object]] = []
+        total_ambiguity = 1
+        for case, result in ctx.case_results:
+            direct = [
+                c for c in case.complaints if isinstance(c, PredictionComplaint)
+            ]
+            indirect = [
+                c for c in case.complaints if not isinstance(c, PredictionComplaint)
+            ]
+            # Direct point complaints are unambiguous: mark them outright.
+            for complaint in direct:
+                if not complaint.is_satisfied(result):
+                    marked.append(
+                        (result, complaint.site_id(result), complaint.label)
+                    )
+            if not indirect:
+                continue
+            encoder = TiresiasEncoder(result)
+            encoder.add_complaints(case.complaints)  # point complaints pin sites
+            solutions = enumerate_optima(
+                encoder.program,
+                max_solutions=self.ambiguity_cap,
+                node_limit=self.node_limit,
+                time_limit=self.time_limit,
+            )
+            total_ambiguity *= len(solutions)
+            chosen = pick_solution(solutions, ctx.rng)
+            direct_sites = {
+                complaint.site_id(result) for complaint in direct
+            }
+            for site_id, label in encoder.marked_mispredictions(chosen):
+                if site_id not in direct_sites:
+                    marked.append((result, site_id, label))
+        ctx.diagnostics["ambiguity"] = total_ambiguity
+        return marked
+
+    # -- influence step ----------------------------------------------------------
+
+    def _q_grad(
+        self, ctx: IterationContext, marked: list[tuple[QueryResult, int, object]]
+    ) -> np.ndarray:
+        """q(θ) = -Σ_marked p_target(x; θ), encoding only the marked sites."""
+        by_result: dict[int, tuple[QueryResult, list[int], list[object]]] = {}
+        for result, site_id, label in marked:
+            entry = by_result.setdefault(id(result), (result, [], []))
+            entry[1].append(site_id)
+            entry[2].append(label)
+        q_grad = np.zeros(ctx.model.n_params)
+        for result, site_ids, labels in by_result.values():
+            X_sites = result.runtime.features_for_sites(site_ids)
+            q_grad += q_grad_for_target_predictions(
+                ctx.model, X_sites, np.asarray(labels, dtype=object)
+            )
+        return q_grad
+
+
+def make_ranker(method: str, **kwargs) -> Ranker:
+    """Factory used by the driver: 'loss', 'infloss', 'twostep', 'holistic'."""
+    registry = {
+        "loss": LossRanker,
+        "infloss": InfLossRanker,
+        "twostep": TwoStepRanker,
+        "holistic": HolisticRanker,
+    }
+    try:
+        cls = registry[method]
+    except KeyError:
+        raise DebuggingError(
+            f"unknown method {method!r}; choose from {sorted(registry)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,26 @@
+"""Synthetic datasets mirroring the paper's four benchmarks + corruption."""
+
+from .adult import (
+    AdultDataset,
+    encode_features,
+    make_adult,
+    section65_predicate,
+)
+from .corrupt import Corruption, corrupt_labels, corrupt_where_label
+from .dblp import DBLPDataset, make_dblp
+from .enron import (
+    EnronDataset,
+    contains_token,
+    labelling_function_corruption,
+    make_enron,
+)
+from .mnist import MNISTDataset, make_mnist, render_digit, split_by_digit
+
+__all__ = [
+    "AdultDataset", "encode_features", "make_adult", "section65_predicate",
+    "Corruption", "corrupt_labels", "corrupt_where_label",
+    "DBLPDataset", "make_dblp",
+    "EnronDataset", "contains_token", "labelling_function_corruption",
+    "make_enron",
+    "MNISTDataset", "make_mnist", "render_digit", "split_by_digit",
+]

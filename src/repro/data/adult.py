@@ -1,0 +1,128 @@
+"""Synthetic Adult ("Census Income") dataset (Sections 6.1.2 and 6.5).
+
+The paper follows [Calmon et al. 2017]: keep only *age*, *education*, and
+*gender*, one-hot encoded into 18 binary variables.  That preprocessing
+creates massive feature duplication (118 of 6512 training points were
+unique), which Section 6.5 shows breaks TwoStep and Loss.
+
+This generator reproduces the same structure:
+
+- ``age_decade`` ∈ {10, 20, ..., 100}  → 10 one-hot columns,
+- ``education`` ∈ 6 levels             → 6 one-hot columns,
+- ``gender`` ∈ {male, female}          → 2 one-hot columns,
+
+for exactly 18 binary features and at most 120 distinct feature vectors.
+The income label depends log-linearly on the three attributes plus noise.
+The corruption predicate of Section 6.5 (low income AND male AND 40-50)
+is provided as :func:`section65_predicate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils import as_rng
+
+AGE_DECADES = tuple(range(10, 101, 10))  # 10 decades
+EDUCATIONS = ("dropout", "hs", "some-college", "bachelors", "masters", "phd")
+GENDERS = ("male", "female")
+N_FEATURES = len(AGE_DECADES) + len(EDUCATIONS) + len(GENDERS)
+CLASSES = (0, 1)  # low / high income
+
+
+@dataclass
+class AdultDataset:
+    """Train/query split with raw attributes alongside one-hot features."""
+
+    X_train: np.ndarray
+    y_train: np.ndarray
+    age_train: np.ndarray
+    education_train: np.ndarray
+    gender_train: np.ndarray
+    X_query: np.ndarray
+    y_query: np.ndarray
+    age_query: np.ndarray
+    education_query: np.ndarray
+    gender_query: np.ndarray
+    classes: tuple = CLASSES
+
+
+def _one_hot(values: np.ndarray, vocabulary: tuple) -> np.ndarray:
+    index = {item: position for position, item in enumerate(vocabulary)}
+    out = np.zeros((values.shape[0], len(vocabulary)))
+    for row, value in enumerate(values):
+        out[row, index[value]] = 1.0
+    return out
+
+
+def encode_features(
+    age_decade: np.ndarray, education: np.ndarray, gender: np.ndarray
+) -> np.ndarray:
+    """The 18 binary variables of [Calmon et al. 2017]'s preprocessing."""
+    return np.hstack(
+        [
+            _one_hot(np.asarray(age_decade), AGE_DECADES),
+            _one_hot(np.asarray(education), EDUCATIONS),
+            _one_hot(np.asarray(gender), GENDERS),
+        ]
+    )
+
+
+def make_adult(n_train: int = 2000, n_query: int = 1200, seed=0) -> AdultDataset:
+    """Generate the synthetic census dataset."""
+    rng = as_rng(seed)
+
+    age_logits = np.array([0.6, 1.6, 2.0, 1.9, 1.6, 1.2, 0.8, 0.4, 0.2, 0.1])
+    age_probs = np.exp(age_logits) / np.exp(age_logits).sum()
+    education_probs = np.array([0.12, 0.32, 0.22, 0.2, 0.1, 0.04])
+
+    # Income model: rises with age until 60 then flattens, rises with
+    # education, and is shifted by gender (matching the real dataset's skew).
+    age_effect = {10: -2.5, 20: -1.2, 30: -0.2, 40: 0.4, 50: 0.6, 60: 0.5,
+                  70: 0.1, 80: -0.4, 90: -0.8, 100: -1.0}
+    education_effect = {
+        "dropout": -1.5, "hs": -0.6, "some-college": -0.1,
+        "bachelors": 0.7, "masters": 1.2, "phd": 1.6,
+    }
+    gender_effect = {"male": 0.35, "female": -0.35}
+    intercept = -0.9
+
+    def sample(n: int):
+        age = rng.choice(AGE_DECADES, size=n, p=age_probs)
+        education = rng.choice(EDUCATIONS, size=n, p=education_probs)
+        gender = rng.choice(GENDERS, size=n, p=[0.67, 0.33])
+        logits = np.asarray(
+            [
+                intercept
+                + age_effect[int(a)]
+                + education_effect[str(e)]
+                + gender_effect[str(g)]
+                for a, e, g in zip(age, education, gender)
+            ]
+        )
+        probabilities = 1.0 / (1.0 + np.exp(-logits))
+        y = (rng.random(n) < probabilities).astype(int)
+        X = encode_features(age, education, gender)
+        return X, y, age.astype(int), education.astype(object), gender.astype(object)
+
+    X_train, y_train, age_train, education_train, gender_train = sample(n_train)
+    X_query, y_query, age_query, education_query, gender_query = sample(n_query)
+    return AdultDataset(
+        X_train, y_train, age_train, education_train, gender_train,
+        X_query, y_query, age_query, education_query, gender_query,
+    )
+
+
+def section65_predicate(
+    y: np.ndarray, age_decade: np.ndarray, gender: np.ndarray
+) -> np.ndarray:
+    """The Section 6.5 corruption predicate: low income ∧ male ∧ 40-50.
+
+    (Age decade 40 or 50 covers the paper's "40-50 years old" bucket.)
+    """
+    y = np.asarray(y)
+    age_decade = np.asarray(age_decade)
+    gender = np.asarray(gender)
+    return (y == 0) & (gender == "male") & ((age_decade == 40) | (age_decade == 50))

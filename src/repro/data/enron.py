@@ -1,0 +1,131 @@
+"""Synthetic Enron spam dataset (Sections 6.1.2 and 6.2).
+
+The paper's ENRON experiments classify emails (bag-of-words features,
+logistic regression) and corrupt labels with *rule-based labelling
+functions*: "label all training emails containing 'http' as spam", and
+similarly for 'deal'.  The queries then filter with
+``text LIKE '%http%'`` / ``'%deal%'``.
+
+This generator synthesizes emails from class-conditional token
+distributions over a small vocabulary that includes the trigger tokens
+``http`` and ``deal``.  Token rates are calibrated to the paper's reported
+statistics: ~13% of emails contain 'http' (76% of those already spam) and
+~18% contain 'deal' (only 2.7% of those spam), so applying the labelling
+functions flips roughly the same share of labels as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils import as_rng
+
+CLASSES = ("ham", "spam")
+
+# (token, P(token | ham), P(token | spam)) — per-email inclusion rates.
+_VOCAB_SPEC = [
+    ("http", 0.035, 0.45),
+    ("deal", 0.22, 0.03),
+    ("free", 0.03, 0.40),
+    ("winner", 0.01, 0.25),
+    ("viagra", 0.002, 0.18),
+    ("click", 0.04, 0.35),
+    ("unsubscribe", 0.02, 0.30),
+    ("money", 0.08, 0.30),
+    ("offer", 0.06, 0.28),
+    ("credit", 0.04, 0.22),
+    ("meeting", 0.45, 0.05),
+    ("schedule", 0.35, 0.04),
+    ("report", 0.40, 0.06),
+    ("contract", 0.30, 0.05),
+    ("gas", 0.25, 0.03),
+    ("energy", 0.28, 0.04),
+    ("pipeline", 0.18, 0.02),
+    ("trading", 0.22, 0.05),
+    ("lunch", 0.15, 0.02),
+    ("attached", 0.38, 0.08),
+    ("review", 0.30, 0.06),
+    ("thanks", 0.42, 0.10),
+    ("project", 0.33, 0.05),
+    ("friday", 0.20, 0.05),
+    ("call", 0.30, 0.15),
+    ("team", 0.25, 0.04),
+    ("budget", 0.18, 0.03),
+    ("invoice", 0.12, 0.10),
+    ("password", 0.03, 0.12),
+    ("account", 0.10, 0.20),
+]
+
+VOCABULARY = tuple(token for token, _, _ in _VOCAB_SPEC)
+N_FEATURES = len(VOCABULARY)
+
+
+@dataclass
+class EnronDataset:
+    """Train/query emails: binary bag-of-words features plus raw text."""
+
+    X_train: np.ndarray
+    y_train: np.ndarray
+    text_train: np.ndarray
+    X_query: np.ndarray
+    y_query: np.ndarray
+    text_query: np.ndarray
+    classes: tuple = CLASSES
+    vocabulary: tuple = VOCABULARY
+
+
+def make_enron(
+    n_train: int = 900,
+    n_query: int = 500,
+    spam_rate: float = 0.3,
+    seed=0,
+) -> EnronDataset:
+    """Generate the synthetic spam dataset."""
+    rng = as_rng(seed)
+    ham_probs = np.array([spec[1] for spec in _VOCAB_SPEC])
+    spam_probs = np.array([spec[2] for spec in _VOCAB_SPEC])
+
+    def sample(n: int):
+        y = (rng.random(n) < spam_rate).astype(int)
+        probs = np.where(y[:, None] == 1, spam_probs[None, :], ham_probs[None, :])
+        X = (rng.random((n, N_FEATURES)) < probs).astype(float)
+        texts = np.asarray(
+            [
+                " ".join(
+                    token for token, present in zip(VOCABULARY, row) if present
+                )
+                or "empty"
+                for row in X
+            ],
+            dtype=object,
+        )
+        labels = np.asarray([CLASSES[value] for value in y], dtype=object)
+        return X, labels, texts
+
+    X_train, y_train, text_train = sample(n_train)
+    X_query, y_query, text_query = sample(n_query)
+    return EnronDataset(X_train, y_train, text_train, X_query, y_query, text_query)
+
+
+def contains_token(texts: np.ndarray, token: str) -> np.ndarray:
+    """Mask of emails whose text contains ``token`` (the labelling-function
+    predicate and the LIKE predicate share this)."""
+    return np.asarray([token in str(text).split() for text in texts], dtype=bool)
+
+
+def labelling_function_corruption(
+    y: np.ndarray, texts: np.ndarray, token: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply the paper's rule: label every email containing ``token`` as spam.
+
+    Returns the corrupted labels and the indices whose label actually
+    changed (the ground truth for recall curves).
+    """
+    y = np.asarray(y)
+    mask = contains_token(texts, token)
+    y_corrupted = y.copy()
+    y_corrupted[mask] = "spam"
+    changed = np.flatnonzero(mask & (y != "spam"))
+    return y_corrupted, changed

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the Rain reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers can
+catch library failures without masking programming errors (``TypeError``,
+``ValueError`` from numpy, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation/column was used inconsistently with its schema."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or references unknown relations/columns."""
+
+
+class SQLSyntaxError(QueryError):
+    """The SQL text could not be parsed."""
+
+
+class UnsupportedQueryError(QueryError):
+    """The query parses but lies outside the supported SPJA fragment."""
+
+    def __init__(self, message: str, *, feature: str | None = None) -> None:
+        super().__init__(message)
+        self.feature = feature
+
+
+class ProvenanceError(ReproError):
+    """Lineage/provenance capture failed or was requested when disabled."""
+
+
+class ModelError(ReproError):
+    """An ML model was misconfigured or used before fitting."""
+
+
+class NotFittedError(ModelError):
+    """Model parameters were requested before :meth:`fit` was called."""
+
+
+class ConvergenceError(ModelError):
+    """An iterative routine (training, CG) failed to converge."""
+
+
+class ILPError(ReproError):
+    """The ILP is malformed or could not be solved."""
+
+
+class InfeasibleError(ILPError):
+    """The ILP has no feasible point."""
+
+
+class ILPTimeoutError(ILPError):
+    """Branch & bound exceeded its node or time budget."""
+
+
+class ComplaintError(ReproError):
+    """A complaint refers to a missing output tuple/attribute or is invalid."""
+
+
+class RelaxationError(ReproError):
+    """A provenance polynomial could not be relaxed to a differentiable form."""
+
+
+class DebuggingError(ReproError):
+    """The Rain train-rank-fix loop hit an unrecoverable state."""

@@ -1,0 +1,32 @@
+"""One module per paper table/figure; consumed by ``benchmarks/``."""
+
+from . import (
+    fig3_dblp_recall,
+    fig4_f1,
+    fig5_runtime,
+    fig6_mnist_join,
+    fig7_ambiguity,
+    fig8_multiquery,
+    fig9_effort,
+    fig10_misspec,
+    fig11_nn,
+    queries,
+    table3_auccr,
+    thm_a1,
+    thm_c1,
+)
+from .common import (
+    ExperimentResult,
+    build_dblp_setting,
+    compare_methods,
+    execute_sql,
+    run_method,
+)
+
+__all__ = [
+    "fig3_dblp_recall", "fig4_f1", "fig5_runtime", "fig6_mnist_join",
+    "fig7_ambiguity", "fig8_multiquery", "fig9_effort", "fig10_misspec",
+    "fig11_nn", "queries", "table3_auccr", "thm_a1", "thm_c1",
+    "ExperimentResult", "build_dblp_setting", "compare_methods",
+    "execute_sql", "run_method",
+]

@@ -1,0 +1,66 @@
+"""Figure 10: robustness to mis-specified complaints.
+
+Section 6.6's second question: what if the user's value complaint is wrong?
+Starting from the Q5 count complaint with ground truth X*, the variants are
+
+- **exact**     X = X*;
+- **overshoot** X = 1.2 · X* (overcompensates, right direction);
+- **partial**   X = (X* + current result) / 2 (undershoots, right direction);
+- **wrong**     X = 0.8 · current result (moves the *wrong* direction).
+
+Paper shape: Holistic is robust whenever the complaint points in the right
+direction (exact ≈ overshoot; partial degrades once satisfied mid-run) and
+fails for the wrong direction; Loss is insensitive (it ignores complaints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..complaints import ComplaintCase
+from .common import ExperimentResult, compare_methods, execute_sql
+from .mnist_common import build_count_setting
+
+
+def run(
+    methods=("loss", "twostep", "holistic"),
+    corruption_rate: float = 0.1,
+    n_train: int = 300,
+    n_query: int = 150,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult("fig10_misspec")
+    setting = build_count_setting(
+        corruption_rate=corruption_rate, n_train=n_train, n_query=n_query, seed=seed
+    )
+    base_complaint = setting.cases[0].complaints[0]
+    true_value = float(base_complaint.value)
+    current = execute_sql(setting.database, setting.metadata["query"]).scalar("count")
+
+    variants = {
+        "exact": true_value,
+        "overshoot": 1.2 * true_value,
+        "partial": (true_value + current) / 2.0,
+        "wrong": 0.8 * current,
+    }
+    result.notes.append(f"current result {current}, ground truth {true_value}")
+
+    for variant, value in variants.items():
+        complaint = replace(base_complaint, value=float(round(value)))
+        case = ComplaintCase(setting.metadata["query"], [complaint])
+        summaries = compare_methods(
+            setting.database, setting.model_name, setting.X_train,
+            setting.y_corrupted, [case], setting.corrupted_indices,
+            methods=methods, seed=seed,
+        )
+        for method, summary in summaries.items():
+            result.rows.append(
+                {
+                    "variant": variant,
+                    "complaint_value": float(round(value)),
+                    "method": method,
+                    "auccr": summary["auccr"],
+                }
+            )
+            result.series[f"recall[{method}]@{variant}"] = summary["recall_curve"]
+    return result

@@ -1,0 +1,56 @@
+"""Figure 3 + Figure 4 source: DBLP recall curves across corruption rates.
+
+Section 6.2: Q1 (``SELECT COUNT(*) FROM DBLP WHERE predict(*) = 'match'``)
+with a single correct equality complaint; corruption flips 30% / 50% / 70%
+of the *match* training labels to *nonmatch*.  The paper's shape:
+
+- Loss and InfLoss degrade as the corruption rate rises (the model starts
+  fitting the corruptions);
+- TwoStep is weak at low rates (high ambiguity) and improves at 70%;
+- Holistic dominates at every rate (AUCCR ≈ 0.99 at 50% in the paper).
+"""
+
+from __future__ import annotations
+
+from .common import ExperimentResult, build_dblp_setting, compare_methods
+
+PAPER_AUCCR_MEDIUM = {"infloss": 0.30, "loss": 0.35, "twostep": 0.71, "holistic": 0.99}
+
+
+def run(
+    rates=(0.3, 0.5, 0.7),
+    methods=("loss", "infloss", "twostep", "holistic"),
+    n_train: int = 400,
+    n_query: int = 300,
+    seed: int = 0,
+) -> ExperimentResult:
+    result = ExperimentResult("fig3_dblp_recall")
+    for rate in rates:
+        setting = build_dblp_setting(rate, n_train=n_train, n_query=n_query, seed=seed)
+        summaries = compare_methods(
+            setting.database,
+            setting.model_name,
+            setting.X_train,
+            setting.y_corrupted,
+            [setting.case],
+            setting.corrupted_indices,
+            methods=methods,
+            seed=seed,
+        )
+        for method, summary in summaries.items():
+            paper = PAPER_AUCCR_MEDIUM.get(method) if abs(rate - 0.5) < 1e-9 else None
+            result.rows.append(
+                {
+                    "corruption_rate": rate,
+                    "method": method,
+                    "auccr": summary["auccr"],
+                    "paper_auccr(50%)": paper,
+                    "n_corrupted": len(setting.corrupted_indices),
+                }
+            )
+            result.series[f"recall[{method}]@{rate}"] = summary["recall_curve"]
+    result.notes.append(
+        "paper Figure 3 shape: Holistic ≈ perfect at all rates; Loss/InfLoss "
+        "collapse at high rates; TwoStep recovers at 70%."
+    )
+    return result

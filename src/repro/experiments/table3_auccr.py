@@ -1,0 +1,118 @@
+"""Table 3: AUCCR on DBLP (medium corruption) and ENRON ('http' / 'deal').
+
+The ENRON rows use the paper's rule-based labelling-function corruption:
+every training email containing the search token is labelled spam; the
+query then counts predicted spam among emails whose text matches
+``LIKE '%token%'``, and the complaint restores the ground-truth count.
+
+Paper values::
+
+    dataset          InfLoss  Loss  TwoStep  Holistic
+    DBLP (50%)       0.30     0.35  0.71     0.99
+    ENRON '%http%'   0.05     0.02  0.04     0.12
+    ENRON '%deal%'   0.17     0.02  0.07     0.40
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..complaints import ComplaintCase, ValueComplaint
+from ..data import labelling_function_corruption, make_enron
+from ..ml import LogisticRegression
+from ..relational import Database, Relation
+from .common import ExperimentResult, build_dblp_setting, compare_methods
+
+PAPER = {
+    ("dblp", "infloss"): 0.30, ("dblp", "loss"): 0.35,
+    ("dblp", "twostep"): 0.71, ("dblp", "holistic"): 0.99,
+    ("enron_http", "infloss"): 0.05, ("enron_http", "loss"): 0.02,
+    ("enron_http", "twostep"): 0.04, ("enron_http", "holistic"): 0.12,
+    ("enron_deal", "infloss"): 0.17, ("enron_deal", "loss"): 0.02,
+    ("enron_deal", "twostep"): 0.07, ("enron_deal", "holistic"): 0.40,
+}
+
+
+@dataclass
+class EnronSetting:
+    database: Database
+    model: LogisticRegression
+    X_train: np.ndarray
+    y_corrupted: np.ndarray
+    corrupted_indices: np.ndarray
+    case: ComplaintCase
+
+
+def build_enron_setting(
+    token: str, n_train: int = 500, n_query: int = 300, seed: int = 0
+) -> EnronSetting:
+    """ENRON with the 'label emails containing ``token`` as spam' corruption."""
+    ds = make_enron(n_train=n_train, n_query=n_query, seed=seed)
+    y_corrupted, corrupted = labelling_function_corruption(
+        ds.y_train, ds.text_train, token
+    )
+    model = LogisticRegression(ds.classes, n_features=ds.X_train.shape[1], l2=1e-3)
+    model.fit(ds.X_train, y_corrupted, warm_start=False)
+
+    database = Database()
+    database.add_relation(
+        Relation("enron", {"features": ds.X_query, "text": ds.text_query})
+    )
+    database.add_model("spam", model)
+    query = (
+        "SELECT COUNT(*) FROM enron "
+        f"WHERE predict(*) = 'spam' AND text LIKE '%{token}%'"
+    )
+    token_mask = np.asarray([token in str(t).split() for t in ds.text_query])
+    true_count = int(np.sum((ds.y_query == "spam") & token_mask))
+    case = ComplaintCase(
+        query, [ValueComplaint(column="count", op="=", value=true_count, row_index=0)]
+    )
+    return EnronSetting(database, model, ds.X_train, y_corrupted, corrupted, case)
+
+
+def run(
+    methods=("loss", "infloss", "twostep", "holistic"),
+    seed: int = 0,
+    n_train_dblp: int = 400,
+    n_train_enron: int = 500,
+) -> ExperimentResult:
+    result = ExperimentResult("table3_auccr")
+
+    dblp = build_dblp_setting(0.5, n_train=n_train_dblp, seed=seed)
+    summaries = compare_methods(
+        dblp.database, dblp.model_name, dblp.X_train, dblp.y_corrupted,
+        [dblp.case], dblp.corrupted_indices, methods=methods, seed=seed,
+    )
+    for method, summary in summaries.items():
+        result.rows.append(
+            {
+                "dataset": "dblp",
+                "method": method,
+                "auccr": summary["auccr"],
+                "paper": PAPER.get(("dblp", method)),
+            }
+        )
+
+    for token in ("http", "deal"):
+        setting = build_enron_setting(token, n_train=n_train_enron, seed=seed)
+        summaries = compare_methods(
+            setting.database, "spam", setting.X_train, setting.y_corrupted,
+            [setting.case], setting.corrupted_indices, methods=methods, seed=seed,
+        )
+        for method, summary in summaries.items():
+            result.rows.append(
+                {
+                    "dataset": f"enron_{token}",
+                    "method": method,
+                    "auccr": summary["auccr"],
+                    "paper": PAPER.get((f"enron_{token}", method)),
+                }
+            )
+    result.notes.append(
+        "paper Table 3 shape: Holistic best on every dataset; 'deal' easier "
+        "than 'http' for Holistic (more labels actually flipped)."
+    )
+    return result

@@ -1,0 +1,275 @@
+"""Complaints + provenance → 0-1 ILP (the TwoStep SQL step, Section 5.2).
+
+Following Tiresias [Meliou & Suciu 2012], the *marked attribute* is the
+model prediction: each inference site ``i`` gets one binary variable
+``y[i, c]`` per class with ``Σ_c y[i, c] = 1``; the objective minimizes the
+number of prediction changes ``Σ_i (1 - y[i, r_i])`` where ``r_i`` is the
+current prediction.  Complaints become linear constraints over the boolean
+provenance (compound conditions are linearized with auxiliary variables and
+the standard AND/OR linking inequalities).
+
+A satisfying assignment is read back as a per-site *target labelling*
+``t_i``; sites with ``t_i ≠ r_i`` are the marked mispredictions handed to
+the influence step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..complaints.complaint import (
+    PredictionComplaint,
+    TupleComplaint,
+    ValueComplaint,
+)
+from ..errors import ILPError
+from ..relational import provenance as prov
+from ..relational.executor import QueryResult
+from .model import BinaryProgram
+from .solver import ILPSolution
+
+Affine = tuple[dict[int, float], float]
+
+
+def _affine_add(a: Affine, b: Affine, scale: float = 1.0) -> Affine:
+    coeffs = dict(a[0])
+    for index, coeff in b[0].items():
+        coeffs[index] = coeffs.get(index, 0.0) + scale * coeff
+    return coeffs, a[1] + scale * b[1]
+
+
+def _affine_scale(a: Affine, scale: float) -> Affine:
+    return {index: coeff * scale for index, coeff in a[0].items()}, a[1] * scale
+
+
+class TiresiasEncoder:
+    """Builds the TwoStep ILP for one debug-mode query result."""
+
+    def __init__(self, result: QueryResult) -> None:
+        if not result.debug:
+            raise ILPError("TwoStep needs a debug-mode query result")
+        self.result = result
+        self.runtime = result.runtime
+        self.program = BinaryProgram()
+
+        self.site_ids = sorted(site.site_id for site in self.runtime.sites)
+        if not self.site_ids:
+            raise ILPError("the query contains no model inference; nothing to fix")
+        self.classes_by_site: dict[int, list] = {}
+        self.current_labels: dict[int, object] = {}
+        # (site_id, label) -> y variable index
+        self.y_vars: dict[tuple[int, object], int] = {}
+        self._aux_cache: dict[int, Affine] = {}
+
+        for site_id in self.site_ids:
+            site = self.runtime.sites[site_id]
+            classes = self.runtime.model_classes(site.model_name)
+            self.classes_by_site[site_id] = classes
+            self.current_labels[site_id] = self.runtime.prediction_for_site(site.key)
+            one_hot: dict[int, float] = {}
+            for label in classes:
+                var = self.program.add_var(f"y[{site_id},{label}]")
+                self.y_vars[(site_id, label)] = var
+                one_hot[var] = 1.0
+            self.program.add_constraint(one_hot, "=", 1.0)
+
+        # Objective: number of changed predictions.
+        objective: dict[int, float] = {}
+        constant = 0.0
+        for site_id in self.site_ids:
+            current = self.current_labels[site_id]
+            objective[self.y_vars[(site_id, current)]] = -1.0
+            constant += 1.0
+        self.program.set_objective(objective, constant)
+
+    # -- boolean linearization ---------------------------------------------------
+
+    def bool_affine(self, expr: prov.BoolExpr) -> Affine:
+        """Affine form whose value equals the boolean expression's truth."""
+        if isinstance(expr, prov.TrueExpr):
+            return {}, 1.0
+        if isinstance(expr, prov.FalseExpr):
+            return {}, 0.0
+        if isinstance(expr, prov.PredIs):
+            key = (expr.site_id, expr.label)
+            if key not in self.y_vars:
+                raise ILPError(f"atom {expr!r} refers to an unknown site/class")
+            return {self.y_vars[key]: 1.0}, 0.0
+        if isinstance(expr, prov.NotExpr):
+            inner = self.bool_affine(expr.child)
+            return _affine_add(({}, 1.0), inner, scale=-1.0)
+        cached = self._aux_cache.get(id(expr))
+        if cached is not None:
+            return cached
+        if isinstance(expr, prov.AndExpr):
+            affine = self._linearize_and(expr)
+        elif isinstance(expr, prov.OrExpr):
+            affine = self._linearize_or(expr)
+        else:
+            raise ILPError(f"cannot linearize {type(expr).__name__}")
+        self._aux_cache[id(expr)] = affine
+        return affine
+
+    def _linearize_and(self, expr: prov.AndExpr) -> Affine:
+        z = self.program.add_var(f"and_{len(self._aux_cache)}")
+        children = [self.bool_affine(child) for child in expr.children]
+        # z <= child_i  →  z - child_i <= 0
+        for child in children:
+            coeffs = {z: 1.0}
+            for index, coeff in child[0].items():
+                coeffs[index] = coeffs.get(index, 0.0) - coeff
+            self.program.add_constraint(coeffs, "<=", child[1])
+        # z >= Σ child_i - (k - 1)
+        total: Affine = ({}, 0.0)
+        for child in children:
+            total = _affine_add(total, child)
+        coeffs = {z: 1.0}
+        for index, coeff in total[0].items():
+            coeffs[index] = coeffs.get(index, 0.0) - coeff
+        self.program.add_constraint(coeffs, ">=", total[1] - (len(children) - 1))
+        return {z: 1.0}, 0.0
+
+    def _linearize_or(self, expr: prov.OrExpr) -> Affine:
+        z = self.program.add_var(f"or_{len(self._aux_cache)}")
+        children = [self.bool_affine(child) for child in expr.children]
+        # z >= child_i
+        for child in children:
+            coeffs = {z: 1.0}
+            for index, coeff in child[0].items():
+                coeffs[index] = coeffs.get(index, 0.0) - coeff
+            self.program.add_constraint(coeffs, ">=", child[1])
+        # z <= Σ child_i
+        total: Affine = ({}, 0.0)
+        for child in children:
+            total = _affine_add(total, child)
+        coeffs = {z: 1.0}
+        for index, coeff in total[0].items():
+            coeffs[index] = coeffs.get(index, 0.0) - coeff
+        self.program.add_constraint(coeffs, "<=", total[1])
+        return {z: 1.0}, 0.0
+
+    # -- numeric linearization ------------------------------------------------------
+
+    def num_affine(self, expr: prov.NumExpr) -> Affine:
+        if isinstance(expr, prov.ConstNum):
+            return {}, expr.value
+        if isinstance(expr, prov.BoolAsNum):
+            return self.bool_affine(expr.expr)
+        if isinstance(expr, prov.LinearSum):
+            total: Affine = ({}, 0.0)
+            for coeff, cond in expr.terms:
+                total = _affine_add(total, self.bool_affine(cond), scale=coeff)
+            return total
+        if isinstance(expr, prov.AddExpr):
+            total = ({}, 0.0)
+            for child in expr.children:
+                total = _affine_add(total, self.num_affine(child))
+            return total
+        if isinstance(expr, prov.MulExpr):
+            return self._linearize_product(expr)
+        if isinstance(expr, prov.DivExpr):
+            raise ILPError(
+                "ratio polynomials must be handled at the complaint level "
+                "(AVG complaints are cross-multiplied)"
+            )
+        raise ILPError(f"cannot linearize numeric node {type(expr).__name__}")
+
+    def _linearize_product(self, expr: prov.MulExpr) -> Affine:
+        constant = 1.0
+        bools: list[prov.BoolExpr] = []
+        linear_sums: list[prov.LinearSum] = []
+        for child in expr.children:
+            if isinstance(child, prov.ConstNum):
+                constant *= child.value
+            elif isinstance(child, prov.BoolAsNum):
+                bools.append(child.expr)
+            elif isinstance(child, prov.LinearSum):
+                linear_sums.append(child)
+            else:
+                raise ILPError(
+                    f"product over {type(child).__name__} is not linearizable"
+                )
+        if len(linear_sums) > 1:
+            raise ILPError("products of two non-boolean sums are not linearizable")
+        if not linear_sums:
+            if not bools:
+                return {}, constant
+            conjunction = prov.and_(*bools)
+            return _affine_scale(self.bool_affine(conjunction), constant)
+        # boolean(s) × LinearSum: distribute over the sum's terms.
+        linear = linear_sums[0]
+        total: Affine = ({}, 0.0)
+        for coeff, cond in linear.terms:
+            conjunction = prov.and_(*bools, cond)
+            total = _affine_add(total, self.bool_affine(conjunction), scale=coeff)
+        return _affine_scale(total, constant)
+
+    # -- complaints ---------------------------------------------------------------------
+
+    def add_complaints(self, complaints: Sequence) -> None:
+        for complaint in complaints:
+            self.add_complaint(complaint)
+
+    def add_complaint(self, complaint) -> None:
+        if isinstance(complaint, ValueComplaint):
+            poly = complaint.polynomial(self.result)
+            if isinstance(poly, prov.DivExpr):
+                # AVG: num / den op X  →  num - X·den op 0 (den ≥ 0).
+                numerator = self.num_affine(poly.numerator)
+                denominator = self.num_affine(poly.denominator)
+                affine = _affine_add(numerator, denominator, scale=-complaint.value)
+                self.program.add_constraint(affine[0], complaint.op, -affine[1])
+                return
+            affine = self.num_affine(poly)
+            self.program.add_constraint(
+                affine[0], complaint.op, complaint.value - affine[1]
+            )
+            return
+        if isinstance(complaint, TupleComplaint):
+            condition = complaint.condition(self.result)
+            affine = self.bool_affine(condition)
+            self.program.add_constraint(affine[0], "=", -affine[1])
+            return
+        if isinstance(complaint, PredictionComplaint):
+            site_id = complaint.site_id(self.result)
+            key = (site_id, complaint.label)
+            if key not in self.y_vars:
+                raise ILPError(f"{complaint.label!r} is not a class of the model")
+            self.program.add_constraint({self.y_vars[key]: 1.0}, "=", 1.0)
+            return
+        raise ILPError(f"unknown complaint type {type(complaint).__name__}")
+
+    # -- reading back solutions -------------------------------------------------------------
+
+    def solution_targets(self, solution: ILPSolution) -> dict[int, object]:
+        """``site_id -> target label`` from an integral solution."""
+        targets: dict[int, object] = {}
+        for site_id in self.site_ids:
+            chosen = [
+                label
+                for label in self.classes_by_site[site_id]
+                if solution.values[self.y_vars[(site_id, label)]] > 0.5
+            ]
+            if len(chosen) != 1:
+                raise ILPError(
+                    f"site {site_id} has {len(chosen)} selected classes; "
+                    "the solution is not a valid labelling"
+                )
+            targets[site_id] = chosen[0]
+        return targets
+
+    def marked_mispredictions(
+        self, solution: ILPSolution
+    ) -> list[tuple[int, object]]:
+        """Sites whose target label differs from the current prediction."""
+        targets = self.solution_targets(solution)
+        return [
+            (site_id, label)
+            for site_id, label in targets.items()
+            if label != self.current_labels[site_id]
+        ]
+
+    def changed_count(self, solution: ILPSolution) -> int:
+        return len(self.marked_mispredictions(solution))

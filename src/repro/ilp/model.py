@@ -1,0 +1,118 @@
+"""0-1 integer linear programs: variables, constraints, objective.
+
+The TwoStep SQL step (Section 5.2) translates complaints + provenance into
+an ILP à la Tiresias [Meliou & Suciu 2012].  The paper solves these with
+Gurobi/CPLEX; this module provides the model representation and
+:mod:`repro.ilp.solver` provides an exact branch-and-bound solver over
+scipy LP relaxations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..errors import ILPError
+
+SENSES = ("<=", ">=", "=")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A linear constraint ``Σ coeffs[i]·x_i  sense  rhs``."""
+
+    coeffs: tuple[tuple[int, float], ...]
+    sense: str
+    rhs: float
+
+    def __post_init__(self) -> None:
+        if self.sense not in SENSES:
+            raise ILPError(f"constraint sense must be one of {SENSES}, got {self.sense!r}")
+
+
+class BinaryProgram:
+    """A minimization 0-1 ILP."""
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._objective: dict[int, float] = {}
+        self.objective_constant: float = 0.0
+        self.constraints: list[Constraint] = []
+        self._fixed: dict[int, int] = {}
+
+    # -- variables ---------------------------------------------------------------
+
+    def add_var(self, name: str | None = None) -> int:
+        index = len(self._names)
+        self._names.append(name or f"x{index}")
+        return index
+
+    @property
+    def n_vars(self) -> int:
+        return len(self._names)
+
+    def name(self, index: int) -> str:
+        return self._names[index]
+
+    def fix(self, index: int, value: int) -> None:
+        """Pin a variable to 0 or 1 (used for no-good style restrictions)."""
+        if value not in (0, 1):
+            raise ILPError(f"binary variable can only be fixed to 0/1, got {value}")
+        self._fixed[index] = value
+
+    @property
+    def fixed(self) -> dict[int, int]:
+        return dict(self._fixed)
+
+    # -- objective / constraints ----------------------------------------------------
+
+    def set_objective(self, coeffs: Mapping[int, float], constant: float = 0.0) -> None:
+        self._validate_indices(coeffs)
+        self._objective = {int(k): float(v) for k, v in coeffs.items() if v != 0.0}
+        self.objective_constant = float(constant)
+
+    def add_objective_term(self, index: int, coeff: float) -> None:
+        self._validate_indices({index: coeff})
+        self._objective[index] = self._objective.get(index, 0.0) + float(coeff)
+
+    @property
+    def objective(self) -> dict[int, float]:
+        return dict(self._objective)
+
+    def add_constraint(
+        self, coeffs: Mapping[int, float], sense: str, rhs: float
+    ) -> None:
+        self._validate_indices(coeffs)
+        packed = tuple(
+            (int(index), float(coeff)) for index, coeff in coeffs.items() if coeff != 0.0
+        )
+        self.constraints.append(Constraint(packed, sense, float(rhs)))
+
+    def _validate_indices(self, coeffs: Mapping[int, float]) -> None:
+        for index in coeffs:
+            if not 0 <= int(index) < self.n_vars:
+                raise ILPError(
+                    f"variable index {index} out of range [0, {self.n_vars})"
+                )
+
+    # -- evaluation -------------------------------------------------------------------
+
+    def objective_value(self, x) -> float:
+        total = self.objective_constant
+        for index, coeff in self._objective.items():
+            total += coeff * float(x[index])
+        return total
+
+    def is_feasible(self, x, tol: float = 1e-6) -> bool:
+        for index, value in self._fixed.items():
+            if abs(float(x[index]) - value) > tol:
+                return False
+        for constraint in self.constraints:
+            lhs = sum(coeff * float(x[index]) for index, coeff in constraint.coeffs)
+            if constraint.sense == "<=" and lhs > constraint.rhs + tol:
+                return False
+            if constraint.sense == ">=" and lhs < constraint.rhs - tol:
+                return False
+            if constraint.sense == "=" and abs(lhs - constraint.rhs) > tol:
+                return False
+        return True

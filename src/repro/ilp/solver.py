@@ -1,0 +1,224 @@
+"""Exact branch & bound for 0-1 ILPs over scipy LP relaxations.
+
+This is the library's replacement for the paper's off-the-shelf solver
+(Gurobi / CPLEX).  Best-first branch & bound; each node solves the LP
+relaxation with ``scipy.optimize.linprog`` (HiGHS), prunes by bound, and
+branches on the most fractional variable.
+
+Also provided:
+
+- :func:`enumerate_optima` — all optimal solutions up to a cap, found by
+  repeatedly adding *no-good cuts*.  TwoStep uses this both to measure
+  complaint **ambiguity** (the number of satisfying minimal fixes,
+  Section 5.2.2) and to emulate an opaque solver "picking one solution"
+  (a seeded uniform choice, matching Theorem A.1's random-pick model).
+- a node/time budget: the paper itself reports TwoStep's ILP not finishing
+  within 30 minutes on the mix-rate experiment, so hitting the budget is a
+  *reportable outcome* (:class:`~repro.errors.ILPTimeoutError`), not a bug.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from ..errors import ILPTimeoutError, InfeasibleError
+from .model import BinaryProgram
+
+_INT_TOL = 1e-6
+
+
+@dataclass
+class ILPSolution:
+    """An integral assignment with its objective value."""
+
+    values: np.ndarray
+    objective: float
+    nodes_explored: int
+
+    def as_bools(self) -> np.ndarray:
+        return self.values > 0.5
+
+
+def _lp_relaxation(
+    program: BinaryProgram, extra_fixed: dict[int, int]
+) -> tuple[float, np.ndarray] | None:
+    """Solve the LP relaxation; returns (objective, x) or None if infeasible."""
+    n = program.n_vars
+    c = np.zeros(n)
+    for index, coeff in program.objective.items():
+        c[index] = coeff
+
+    a_ub: list[np.ndarray] = []
+    b_ub: list[float] = []
+    a_eq: list[np.ndarray] = []
+    b_eq: list[float] = []
+    for constraint in program.constraints:
+        row = np.zeros(n)
+        for index, coeff in constraint.coeffs:
+            row[index] = coeff
+        if constraint.sense == "<=":
+            a_ub.append(row)
+            b_ub.append(constraint.rhs)
+        elif constraint.sense == ">=":
+            a_ub.append(-row)
+            b_ub.append(-constraint.rhs)
+        else:
+            a_eq.append(row)
+            b_eq.append(constraint.rhs)
+
+    bounds = [(0.0, 1.0)] * n
+    for index, value in program.fixed.items():
+        bounds[index] = (float(value), float(value))
+    for index, value in extra_fixed.items():
+        bounds[index] = (float(value), float(value))
+
+    result = optimize.linprog(
+        c,
+        A_ub=np.asarray(a_ub) if a_ub else None,
+        b_ub=np.asarray(b_ub) if b_ub else None,
+        A_eq=np.asarray(a_eq) if a_eq else None,
+        b_eq=np.asarray(b_eq) if b_eq else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        return None
+    return float(result.fun) + program.objective_constant, np.asarray(result.x)
+
+
+def solve(
+    program: BinaryProgram,
+    node_limit: int = 20000,
+    time_limit: float | None = None,
+) -> ILPSolution:
+    """Minimize the program exactly (within the node/time budget).
+
+    Raises:
+        InfeasibleError: no feasible 0-1 point exists.
+        ILPTimeoutError: budget exhausted before proving optimality.
+    """
+    start = time.perf_counter()
+    root = _lp_relaxation(program, {})
+    if root is None:
+        raise InfeasibleError("LP relaxation is infeasible")
+
+    counter = itertools.count()
+    # Heap of (bound, tiebreak, fixed-assignments dict, relaxation solution)
+    heap: list[tuple[float, int, dict[int, int], np.ndarray]] = [
+        (root[0], next(counter), {}, root[1])
+    ]
+    best: ILPSolution | None = None
+    nodes = 0
+
+    while heap:
+        bound, _, fixed, x = heapq.heappop(heap)
+        if best is not None and bound >= best.objective - 1e-9:
+            continue
+        nodes += 1
+        if nodes > node_limit or (
+            time_limit is not None and time.perf_counter() - start > time_limit
+        ):
+            if best is not None:
+                return best
+            raise ILPTimeoutError(
+                f"branch & bound exhausted its budget after {nodes} nodes "
+                "without an incumbent"
+            )
+
+        fractional = [
+            index
+            for index in range(program.n_vars)
+            if min(x[index], 1.0 - x[index]) > _INT_TOL
+        ]
+        if not fractional:
+            candidate = np.round(x).astype(np.int8)
+            if program.is_feasible(candidate):
+                objective = program.objective_value(candidate)
+                if best is None or objective < best.objective - 1e-9:
+                    best = ILPSolution(candidate, objective, nodes)
+            continue
+
+        branch_var = max(fractional, key=lambda index: min(x[index], 1.0 - x[index]))
+        for value in (0, 1):
+            child_fixed = dict(fixed)
+            child_fixed[branch_var] = value
+            relaxed = _lp_relaxation(program, child_fixed)
+            if relaxed is None:
+                continue
+            child_bound, child_x = relaxed
+            if best is not None and child_bound >= best.objective - 1e-9:
+                continue
+            heapq.heappush(heap, (child_bound, next(counter), child_fixed, child_x))
+
+    if best is None:
+        raise InfeasibleError("no feasible 0-1 assignment exists")
+    best.nodes_explored = nodes
+    return best
+
+
+def enumerate_optima(
+    program: BinaryProgram,
+    max_solutions: int = 100,
+    node_limit: int = 20000,
+    time_limit: float | None = None,
+) -> list[ILPSolution]:
+    """All optimal solutions, up to ``max_solutions``.
+
+    Finds one optimum, then repeatedly adds a *no-good cut* excluding the
+    last solution while constraining the objective to the optimal value.
+    The length of the returned list (vs. ``max_solutions``) is TwoStep's
+    ambiguity measurement.
+    """
+    first = solve(program, node_limit=node_limit, time_limit=time_limit)
+    solutions = [first]
+    optimum = first.objective
+
+    # Work on a copy so the caller's program is untouched.
+    restricted = BinaryProgram()
+    for index in range(program.n_vars):
+        restricted.add_var(program.name(index))
+    for index, value in program.fixed.items():
+        restricted.fix(index, value)
+    restricted.set_objective(program.objective, program.objective_constant)
+    for constraint in program.constraints:
+        restricted.add_constraint(dict(constraint.coeffs), constraint.sense, constraint.rhs)
+    # Pin the objective to the optimal value.
+    restricted.add_constraint(
+        program.objective, "<=", optimum - program.objective_constant + 1e-6
+    )
+
+    while len(solutions) < max_solutions:
+        last = solutions[-1].values
+        # No-good cut: Σ_{i: last_i=1} (1 - x_i) + Σ_{i: last_i=0} x_i ≥ 1.
+        coeffs: dict[int, float] = {}
+        rhs = 1.0
+        for index in range(restricted.n_vars):
+            if last[index] > 0.5:
+                coeffs[index] = -1.0
+                rhs -= 1.0
+            else:
+                coeffs[index] = 1.0
+        restricted.add_constraint(coeffs, ">=", rhs)
+        try:
+            nxt = solve(restricted, node_limit=node_limit, time_limit=time_limit)
+        except InfeasibleError:
+            break
+        if nxt.objective > optimum + 1e-6:
+            break
+        solutions.append(nxt)
+    return solutions
+
+
+def pick_solution(
+    solutions: list[ILPSolution], rng: np.random.Generator
+) -> ILPSolution:
+    """Model the opaque solver pick: uniform over the enumerated optima."""
+    if not solutions:
+        raise InfeasibleError("no solutions to pick from")
+    return solutions[int(rng.integers(len(solutions)))]

@@ -1,0 +1,13 @@
+"""Influence functions: CG-based inverse HVPs and Eq. (4) scoring."""
+
+from .cg import CGResult, conjugate_gradient
+from .functions import InfluenceAnalyzer, q_grad_for_target_predictions
+from .lissa import lissa_inverse_hvp
+
+__all__ = [
+    "CGResult",
+    "conjugate_gradient",
+    "InfluenceAnalyzer",
+    "q_grad_for_target_predictions",
+    "lissa_inverse_hvp",
+]

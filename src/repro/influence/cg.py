@@ -1,0 +1,99 @@
+"""Conjugate-gradient solver for inverse-Hessian-vector products.
+
+The paper (Section 4.1) follows [Koh & Liang 2017; Martens 2010]: instead of
+inverting the training-loss Hessian (O(d³)), pose ``H u = v`` as a linear
+system and solve it with conjugate gradients, where each iteration needs only
+one Hessian-vector product.  A damping term ``(H + damping·I) u = v`` keeps
+the system positive definite for non-convex (neural) models.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError
+
+
+@dataclass
+class CGResult:
+    """Solution plus convergence diagnostics."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+
+
+def conjugate_gradient(
+    hvp: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    damping: float = 0.0,
+    max_iter: int | None = None,
+    tol: float = 1e-8,
+    x0: np.ndarray | None = None,
+    raise_on_failure: bool = False,
+) -> CGResult:
+    """Solve ``(H + damping I) x = b`` given only products ``v ↦ H v``.
+
+    Args:
+        hvp: Hessian-vector product oracle.
+        b: right-hand side.
+        damping: Tikhonov damping added to the diagonal.
+        max_iter: iteration cap (default ``10 * dim`` capped at 1000).
+        tol: relative residual tolerance ``‖r‖ ≤ tol·‖b‖``.
+        x0: optional warm start.
+        raise_on_failure: raise :class:`ConvergenceError` instead of
+            returning a non-converged result.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    dim = b.shape[0]
+    if max_iter is None:
+        max_iter = min(10 * dim, 1000)
+
+    def operator(v: np.ndarray) -> np.ndarray:
+        out = np.asarray(hvp(v), dtype=np.float64)
+        if damping:
+            out = out + damping * v
+        return out
+
+    x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    r = b - operator(x) if x.any() else b.copy()
+    p = r.copy()
+    rs_old = float(r @ r)
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0.0:
+        return CGResult(np.zeros_like(b), 0, 0.0, True)
+    threshold = (tol * b_norm) ** 2
+
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        if rs_old <= threshold:
+            iterations -= 1
+            break
+        hp = operator(p)
+        denominator = float(p @ hp)
+        if denominator <= 0:
+            # Negative curvature: the (possibly non-convex) Hessian needs more
+            # damping; stop at the best iterate found so far.
+            break
+        alpha = rs_old / denominator
+        x = x + alpha * p
+        r = r - alpha * hp
+        rs_new = float(r @ r)
+        if rs_new <= threshold:
+            rs_old = rs_new
+            break
+        p = r + (rs_new / rs_old) * p
+        rs_old = rs_new
+
+    residual_norm = float(np.sqrt(rs_old))
+    converged = residual_norm <= tol * b_norm
+    if not converged and raise_on_failure:
+        raise ConvergenceError(
+            f"CG did not converge in {iterations} iterations "
+            f"(residual {residual_norm:.3e}, target {tol * b_norm:.3e})"
+        )
+    return CGResult(x, iterations, residual_norm, converged)

@@ -1,0 +1,22 @@
+"""ML models implementing the protocol Rain's influence machinery needs."""
+
+from .base import ClassificationModel
+from .linear import LogisticRegression, SoftmaxRegression
+from .neural import (
+    NeuralClassifier,
+    flatten_input_adapter,
+    image_input_adapter,
+    make_cnn,
+    make_mlp,
+)
+
+__all__ = [
+    "ClassificationModel",
+    "LogisticRegression",
+    "SoftmaxRegression",
+    "NeuralClassifier",
+    "flatten_input_adapter",
+    "image_input_adapter",
+    "make_cnn",
+    "make_mlp",
+]

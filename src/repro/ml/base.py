@@ -1,0 +1,234 @@
+"""The classification-model protocol consumed by the query engine and Rain.
+
+Rain needs more from a model than ``fit``/``predict``:
+
+- per-sample training losses and gradients (the Loss/InfLoss baselines and
+  the right-hand sides of Eq. 4),
+- Hessian-vector products of the regularized training loss (the ``H θ*``
+  of the influence function, solved by conjugate gradient),
+- a *probability vector-Jacobian product* ``prob_vjp``: the gradient of
+  ``Σ_i Σ_c w[i, c] · p_c(x_i; θ)`` with respect to θ.  Both TwoStep's
+  ``q(θ) = -Σ p_{t_i}(x_i; θ)`` and Holistic's relaxed provenance gradients
+  reduce to this single contraction.
+
+Models are trained by L-BFGS on the L2-regularized mean loss
+``L(θ) = (1/n) Σ ℓ(z_i, θ) + λ‖θ‖²``, matching Section 6.1.6 of the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from scipy import optimize
+
+from ..errors import ModelError, NotFittedError
+
+
+class ClassificationModel:
+    """Abstract base class; see module docstring for the contract."""
+
+    def __init__(self, classes: Sequence, l2: float = 1e-3) -> None:
+        if len(classes) < 2:
+            raise ModelError(f"need at least 2 classes, got {list(classes)}")
+        if len(set(classes)) != len(classes):
+            raise ModelError(f"duplicate class labels in {list(classes)}")
+        if l2 < 0:
+            raise ModelError(f"l2 must be non-negative, got {l2}")
+        self.classes = list(classes)
+        self.l2 = float(l2)
+        self._class_index = {label: index for index, label in enumerate(self.classes)}
+        self._params: np.ndarray | None = None
+
+    # -- parameters -------------------------------------------------------------
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def n_params(self) -> int:
+        raise NotImplementedError
+
+    def get_params(self) -> np.ndarray:
+        if self._params is None:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+        return self._params.copy()
+
+    def set_params(self, params: np.ndarray) -> None:
+        params = np.asarray(params, dtype=np.float64)
+        if params.shape != (self.n_params,):
+            raise ModelError(
+                f"params shape {params.shape} != ({self.n_params},)"
+            )
+        self._params = params.copy()
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._params is not None
+
+    def labels_to_indices(self, y: np.ndarray) -> np.ndarray:
+        try:
+            return np.asarray([self._class_index[label] for label in np.asarray(y).tolist()])
+        except KeyError as exc:
+            raise ModelError(
+                f"unknown class label {exc.args[0]!r}; classes: {self.classes}"
+            ) from None
+
+    def indices_to_labels(self, indices: np.ndarray) -> np.ndarray:
+        return np.asarray([self.classes[int(index)] for index in indices])
+
+    # -- core numerical interface (implemented by subclasses) --------------------
+
+    def _data_loss_and_grad(
+        self, params: np.ndarray, X: np.ndarray, y_idx: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Mean data loss and its gradient (no regularization)."""
+        raise NotImplementedError
+
+    def _per_sample_losses(
+        self, params: np.ndarray, X: np.ndarray, y_idx: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def _per_sample_grads(
+        self, params: np.ndarray, X: np.ndarray, y_idx: np.ndarray
+    ) -> np.ndarray:
+        """(n, n_params) matrix of per-sample loss gradients."""
+        raise NotImplementedError
+
+    def _data_hvp(
+        self, params: np.ndarray, X: np.ndarray, y_idx: np.ndarray, v: np.ndarray
+    ) -> np.ndarray:
+        """Hessian-vector product of the mean data loss."""
+        raise NotImplementedError
+
+    def _proba(self, params: np.ndarray, X: np.ndarray) -> np.ndarray:
+        """(n, n_classes) class probabilities."""
+        raise NotImplementedError
+
+    def _prob_vjp(
+        self, params: np.ndarray, X: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Gradient of ``Σ_i Σ_c weights[i,c] p_c(x_i; θ)`` w.r.t. θ."""
+        raise NotImplementedError
+
+    def _init_params(self, n_features_shape: tuple[int, ...]) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- public API ---------------------------------------------------------------
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        warm_start: bool = True,
+        max_iter: int = 300,
+        tol: float = 1e-8,
+    ) -> "ClassificationModel":
+        """Minimize the regularized mean loss with L-BFGS.
+
+        ``warm_start=True`` (the default, and what the train-rank-fix loop
+        uses) starts from the current parameters when available.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        y_idx = self.labels_to_indices(y)
+        if X.shape[0] != y_idx.shape[0]:
+            raise ModelError(
+                f"X has {X.shape[0]} rows but y has {y_idx.shape[0]} labels"
+            )
+        if X.shape[0] == 0:
+            raise ModelError("cannot fit on an empty training set")
+
+        if warm_start and self._params is not None:
+            theta0 = self._params
+        else:
+            theta0 = self._init_params(X.shape[1:])
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            loss, grad = self._data_loss_and_grad(theta, X, y_idx)
+            loss += self.l2 * float(theta @ theta)
+            grad = grad + 2.0 * self.l2 * theta
+            return loss, grad
+
+        result = optimize.minimize(
+            objective,
+            theta0,
+            jac=True,
+            method="L-BFGS-B",
+            options={"maxiter": max_iter, "ftol": tol, "gtol": 1e-9},
+        )
+        self._params = np.asarray(result.x, dtype=np.float64)
+        self.last_fit_result_ = result
+        return self
+
+    def loss(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Regularized mean loss at the current parameters."""
+        params = self.get_params()
+        X = np.asarray(X, dtype=np.float64)
+        value, _ = self._data_loss_and_grad(params, X, self.labels_to_indices(y))
+        return float(value + self.l2 * params @ params)
+
+    def per_sample_losses(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self._per_sample_losses(
+            self.get_params(), np.asarray(X, dtype=np.float64), self.labels_to_indices(y)
+        )
+
+    def per_sample_grads(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self._per_sample_grads(
+            self.get_params(), np.asarray(X, dtype=np.float64), self.labels_to_indices(y)
+        )
+
+    def grad_dot(self, X: np.ndarray, y: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Per-sample directional derivatives ``∇ℓ(z_i, θ)ᵀ v``.
+
+        Default implementation materializes per-sample gradients; subclasses
+        override with cheaper schemes (the neural model uses two forward
+        passes of central finite differences).
+        """
+        return self.per_sample_grads(X, y) @ np.asarray(v, dtype=np.float64)
+
+    def hvp(self, X: np.ndarray, y: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """HVP of the *regularized* mean training loss: ``(∇²L)v``."""
+        params = self.get_params()
+        v = np.asarray(v, dtype=np.float64)
+        data = self._data_hvp(
+            params, np.asarray(X, dtype=np.float64), self.labels_to_indices(y), v
+        )
+        return data + 2.0 * self.l2 * v
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self._proba(self.get_params(), np.asarray(X, dtype=np.float64))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.indices_to_labels(np.argmax(proba, axis=1))
+
+    def prob_vjp(self, X: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """∇_θ ``Σ_i Σ_c weights[i, c] · p_c(x_i; θ)``."""
+        X = np.asarray(X, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (X.shape[0], self.n_classes):
+            raise ModelError(
+                f"weights shape {weights.shape} != ({X.shape[0]}, {self.n_classes})"
+            )
+        return self._prob_vjp(self.get_params(), X, weights)
+
+    # -- evaluation helpers ---------------------------------------------------------
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        predictions = self.predict(X)
+        return float(np.mean(np.asarray(predictions) == np.asarray(y)))
+
+    def f1_binary(self, X: np.ndarray, y: np.ndarray, positive) -> float:
+        """F1 of the ``positive`` class (used for the paper's Figure 4)."""
+        predictions = np.asarray(self.predict(X))
+        y = np.asarray(y)
+        true_pos = float(np.sum((predictions == positive) & (y == positive)))
+        pred_pos = float(np.sum(predictions == positive))
+        actual_pos = float(np.sum(y == positive))
+        if pred_pos == 0 or actual_pos == 0 or true_pos == 0:
+            return 0.0
+        precision = true_pos / pred_pos
+        recall = true_pos / actual_pos
+        return 2 * precision * recall / (precision + recall)

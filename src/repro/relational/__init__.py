@@ -1,0 +1,59 @@
+"""Relational substrate: relations, expressions, SPJA plans, provenance, SQL.
+
+This package implements the "Query 2.0" query processor that Rain debugs:
+an in-memory SPJA engine whose WHERE/SELECT/GROUP BY clauses may embed
+``model.predict(...)`` calls, with a debug mode that captures boolean and
+aggregate provenance over prediction atoms.
+"""
+
+from .algebra import AggSpec, Aggregate, Filter, Join, Plan, Project, Scan
+from .context import QueryRuntime, TupleBatch
+from .executor import Executor, GroupInfo, QueryResult
+from .expressions import (
+    Arith,
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Cmp,
+    Col,
+    Const,
+    Expr,
+    Like,
+    ModelPredict,
+    col,
+    eq,
+    lit,
+    predict,
+)
+from .provenance import (
+    FALSE,
+    TRUE,
+    AndExpr,
+    BoolExpr,
+    ConstNum,
+    DivExpr,
+    InferenceSite,
+    LinearSum,
+    NotExpr,
+    NumExpr,
+    OrExpr,
+    PredIs,
+    SiteRegistry,
+    and_,
+    not_,
+    or_,
+    pred_value,
+)
+from .schema import Database, Relation
+from .sql import ParsedQuery, parse, plan_sql
+
+__all__ = [
+    "AggSpec", "Aggregate", "Filter", "Join", "Plan", "Project", "Scan",
+    "QueryRuntime", "TupleBatch", "Executor", "GroupInfo", "QueryResult",
+    "Arith", "BoolAnd", "BoolNot", "BoolOr", "Cmp", "Col", "Const", "Expr",
+    "Like", "ModelPredict", "col", "eq", "lit", "predict",
+    "FALSE", "TRUE", "AndExpr", "BoolExpr", "ConstNum", "DivExpr",
+    "InferenceSite", "LinearSum", "NotExpr", "NumExpr", "OrExpr", "PredIs",
+    "SiteRegistry", "and_", "not_", "or_", "pred_value",
+    "Database", "Relation", "ParsedQuery", "parse", "plan_sql",
+]

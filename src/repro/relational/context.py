@@ -1,0 +1,276 @@
+"""Execution context shared by expressions and plan operators.
+
+Intermediate results flow through the executor as :class:`TupleBatch`
+objects: a set of qualified columns (``alias.column``) plus, per aliased
+base relation, the base row ids each output tuple derives from.  In debug
+mode each tuple additionally carries its boolean existence condition (a
+:class:`~repro.relational.provenance.BoolExpr`).
+
+:class:`QueryRuntime` holds everything that outlives one batch: the model
+registry, the inference-site registry, and the per-site prediction cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import QueryError, SchemaError
+from .provenance import TRUE, BoolExpr, SiteRegistry
+from .schema import Database
+
+
+class QueryRuntime:
+    """Per-execution state: models, inference sites, prediction cache."""
+
+    def __init__(self, database: Database, debug: bool = False) -> None:
+        self.database = database
+        self.debug = debug
+        self.sites = SiteRegistry()
+        # (model_name, relation_name, row_id) -> predicted label
+        self._prediction_cache: dict[tuple[str, str, int], object] = {}
+        # site_id -> feature array (recorded when the site is interned)
+        self.site_features: dict[int, np.ndarray] = {}
+
+    def model(self, model_name: str):
+        return self.database.model(model_name)
+
+    def model_classes(self, model_name: str) -> list:
+        model = self.model(model_name)
+        try:
+            return list(model.classes)
+        except AttributeError as exc:
+            raise QueryError(
+                f"model {model_name!r} does not expose a .classes attribute"
+            ) from exc
+
+    def predict(
+        self,
+        model_name: str,
+        relation_name: str,
+        row_ids: np.ndarray,
+        features: np.ndarray,
+    ) -> np.ndarray:
+        """Predict labels for base rows, caching per (model, relation, row).
+
+        The cache guarantees that the same base row always receives the same
+        prediction within one execution, and that debug-mode inference sites
+        are consistent with the concrete predictions.
+        """
+        model = self.model(model_name)
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        missing_positions = [
+            position
+            for position, row_id in enumerate(row_ids)
+            if (model_name, relation_name, int(row_id)) not in self._prediction_cache
+        ]
+        if missing_positions:
+            missing_features = features[missing_positions]
+            labels = model.predict(missing_features)
+            for position, label in zip(missing_positions, labels):
+                key = (model_name, relation_name, int(row_ids[position]))
+                cell = label.item() if np.ndim(label) == 0 and hasattr(label, "item") else label
+                self._prediction_cache[key] = cell
+        return np.asarray(
+            [
+                self._prediction_cache[(model_name, relation_name, int(row_id))]
+                for row_id in row_ids
+            ]
+        )
+
+    def intern_sites(
+        self,
+        model_name: str,
+        relation_name: str,
+        row_ids: np.ndarray,
+        features: np.ndarray | None = None,
+    ) -> list[int]:
+        """Intern inference sites for base rows; returns site ids per row.
+
+        When ``features`` is given, the per-site feature array is recorded so
+        influence analysis can later rebuild the model inputs of every site.
+        """
+        site_ids = []
+        for position, row_id in enumerate(row_ids):
+            site = self.sites.intern(model_name, relation_name, int(row_id))
+            site_ids.append(site.site_id)
+            if features is not None and site.site_id not in self.site_features:
+                self.site_features[site.site_id] = np.asarray(features[position])
+        return site_ids
+
+    def features_for_sites(self, site_ids) -> np.ndarray:
+        """Stacked feature array for the given site ids."""
+        try:
+            return np.stack([self.site_features[int(s)] for s in site_ids], axis=0)
+        except KeyError as exc:
+            raise QueryError(
+                f"no recorded features for inference site {exc.args[0]}"
+            ) from None
+
+    def prediction_for_site(self, site_key: tuple[str, str, int]):
+        try:
+            return self._prediction_cache[site_key]
+        except KeyError:
+            raise QueryError(f"no cached prediction for site {site_key}") from None
+
+    def current_assignment(self) -> dict[int, object]:
+        """``site_id -> predicted class`` under the current model."""
+        return {
+            site.site_id: self.prediction_for_site(site.key) for site in self.sites
+        }
+
+
+class TupleBatch:
+    """A batch of intermediate tuples with lineage back to base relations.
+
+    Attributes:
+        columns: qualified column name (``alias.column``) -> value array.
+        alias_relations: alias -> underlying base relation name.
+        alias_row_ids: alias -> int64 array of base row ids (one per tuple).
+        conditions: per-tuple existence conditions (debug mode), or ``None``.
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, np.ndarray],
+        alias_relations: Mapping[str, str],
+        alias_row_ids: Mapping[str, np.ndarray],
+        conditions: list[BoolExpr] | None = None,
+    ) -> None:
+        self.columns = dict(columns)
+        self.alias_relations = dict(alias_relations)
+        self.alias_row_ids = {
+            alias: np.asarray(ids, dtype=np.int64)
+            for alias, ids in alias_row_ids.items()
+        }
+        lengths = {array.shape[0] for array in self.columns.values()}
+        lengths |= {array.shape[0] for array in self.alias_row_ids.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"inconsistent batch column lengths: {lengths}")
+        self._n_rows = lengths.pop() if lengths else 0
+        if conditions is not None and len(conditions) != self._n_rows:
+            raise SchemaError(
+                f"{len(conditions)} conditions for {self._n_rows} tuples"
+            )
+        self.conditions = conditions
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns.keys())
+
+    def resolve(self, name: str) -> str:
+        """Resolve a possibly-unqualified column name to its qualified form."""
+        if name in self.columns:
+            return name
+        matches = [
+            qualified
+            for qualified in self.columns
+            if qualified.split(".", 1)[-1] == name
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise QueryError(
+                f"unknown column {name!r}; available: {sorted(self.columns)}"
+            )
+        raise QueryError(f"ambiguous column {name!r}: matches {sorted(matches)}")
+
+    def values(self, name: str) -> np.ndarray:
+        return self.columns[self.resolve(name)]
+
+    def alias_of_column(self, name: str) -> str:
+        qualified = self.resolve(name)
+        return qualified.split(".", 1)[0]
+
+    def take(self, indices: np.ndarray) -> "TupleBatch":
+        indices = np.asarray(indices, dtype=np.int64)
+        columns = {name: values[indices] for name, values in self.columns.items()}
+        alias_row_ids = {
+            alias: ids[indices] for alias, ids in self.alias_row_ids.items()
+        }
+        conditions = None
+        if self.conditions is not None:
+            conditions = [self.conditions[int(i)] for i in indices]
+        return TupleBatch(columns, self.alias_relations, alias_row_ids, conditions)
+
+    def with_conditions(self, conditions: list[BoolExpr]) -> "TupleBatch":
+        return TupleBatch(
+            self.columns, self.alias_relations, self.alias_row_ids, conditions
+        )
+
+    def condition(self, index: int) -> BoolExpr:
+        if self.conditions is None:
+            return TRUE
+        return self.conditions[index]
+
+    @classmethod
+    def from_relation(
+        cls, relation, alias: str, debug: bool = False
+    ) -> "TupleBatch":
+        columns = {
+            f"{alias}.{name}": values for name, values in relation.columns.items()
+        }
+        conditions: list[BoolExpr] | None = None
+        if debug:
+            conditions = [TRUE] * len(relation)
+        return cls(
+            columns,
+            {alias: relation.name},
+            {alias: relation.row_ids},
+            conditions,
+        )
+
+    @classmethod
+    def cross_product(cls, left: "TupleBatch", right: "TupleBatch") -> "TupleBatch":
+        """All pairs of left/right tuples (the executor filters afterwards)."""
+        overlap = set(left.alias_relations) & set(right.alias_relations)
+        if overlap:
+            raise QueryError(f"duplicate aliases across join sides: {sorted(overlap)}")
+        n_left, n_right = len(left), len(right)
+        left_index = np.repeat(np.arange(n_left, dtype=np.int64), n_right)
+        right_index = np.tile(np.arange(n_right, dtype=np.int64), n_left)
+        return cls.paired(left, right, left_index, right_index)
+
+    @classmethod
+    def paired(
+        cls,
+        left: "TupleBatch",
+        right: "TupleBatch",
+        left_index: np.ndarray,
+        right_index: np.ndarray,
+    ) -> "TupleBatch":
+        """Combine selected (left, right) tuple pairs into one batch."""
+        from .provenance import and_  # local import to avoid cycle at module load
+
+        columns: dict[str, np.ndarray] = {}
+        for name, values in left.columns.items():
+            columns[name] = values[left_index]
+        for name, values in right.columns.items():
+            columns[name] = values[right_index]
+        alias_relations = {**left.alias_relations, **right.alias_relations}
+        alias_row_ids: dict[str, np.ndarray] = {}
+        for alias, ids in left.alias_row_ids.items():
+            alias_row_ids[alias] = ids[left_index]
+        for alias, ids in right.alias_row_ids.items():
+            alias_row_ids[alias] = ids[right_index]
+        conditions = None
+        if left.conditions is not None and right.conditions is not None:
+            conditions = [
+                and_(left.conditions[int(li)], right.conditions[int(ri)])
+                for li, ri in zip(left_index, right_index)
+            ]
+        return cls(columns, alias_relations, alias_row_ids, conditions)
+
+
+def empty_like(batch: TupleBatch) -> TupleBatch:
+    """An empty batch with the same schema as ``batch``."""
+    return batch.take(np.array([], dtype=np.int64))
+
+
+def stack_columns(column: Sequence[np.ndarray]) -> np.ndarray:
+    """Stack per-row feature cells back into a single array."""
+    return np.stack(list(column), axis=0)

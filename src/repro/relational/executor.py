@@ -1,0 +1,480 @@
+"""Query execution: concrete results plus debug-mode lineage.
+
+The executor evaluates a plan bottom-up over :class:`TupleBatch` objects.
+In **debug mode** (the paper's "rerun Q in a debug mode to generate
+fine-grained lineage metadata", Section 5.1) every intermediate tuple
+carries its boolean existence condition over prediction atoms, and every
+aggregate cell yields a numeric provenance polynomial.  Crucially, tuples
+that are *currently* filtered out by a model predicate are retained
+symbolically — fixing the training data could flip their predictions, so
+both TwoStep's ILP and Holistic's relaxation must see them.
+
+The concrete query result is recovered by evaluating each condition /
+polynomial under the current prediction assignment, which guarantees the
+concrete and symbolic views never diverge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ProvenanceError, QueryError
+from . import provenance as prov
+from .algebra import Aggregate, AggSpec, Filter, Join, Plan, Project, Scan
+from .context import QueryRuntime, TupleBatch
+from .expressions import BoolAnd, Cmp, Col, Expr, ModelPredict
+from .schema import Database, Relation
+
+
+@dataclass
+class GroupInfo:
+    """Debug metadata for one (possibly not-currently-existing) group."""
+
+    key: tuple
+    condition: prov.BoolExpr
+    cell_polys: dict[str, prov.NumExpr] = field(default_factory=dict)
+
+
+@dataclass
+class QueryResult:
+    """Concrete output plus (in debug mode) full lineage.
+
+    Attributes:
+        relation: the concrete output under current predictions.
+        runtime: execution state (models, sites, prediction cache).
+        candidate_batch: all symbolically-alive tuples (pre-aggregation
+            output for SP/SPJ queries); ``None`` outside debug mode.
+        candidate_conditions: existence conditions, aligned with
+            ``candidate_batch``.
+        output_to_candidate: for SP/SPJ queries, index of each concrete
+            output row inside the candidate batch.
+        groups: for aggregate queries, one :class:`GroupInfo` per candidate
+            group (including groups that are currently empty).
+        output_to_group: index of each concrete output row inside ``groups``.
+        is_aggregate: whether the root plan node is an Aggregate.
+    """
+
+    relation: Relation
+    runtime: QueryRuntime
+    candidate_batch: TupleBatch | None = None
+    candidate_conditions: list[prov.BoolExpr] | None = None
+    output_to_candidate: list[int] | None = None
+    groups: list[GroupInfo] | None = None
+    output_to_group: list[int] | None = None
+    is_aggregate: bool = False
+
+    @property
+    def debug(self) -> bool:
+        return self.runtime.debug
+
+    def assignment(self) -> dict[int, object]:
+        """Current ``site_id -> predicted class`` assignment."""
+        return self.runtime.current_assignment()
+
+    def scalar(self, column: str | None = None) -> float:
+        """The single value of a 1x1 result (global aggregates)."""
+        if len(self.relation) != 1:
+            raise QueryError(
+                f"scalar() needs a single-row result, got {len(self.relation)} rows"
+            )
+        name = column or self.relation.column_names[-1]
+        return float(self.relation.column(name)[0])
+
+    def cell_polynomial(self, row_index: int, column: str) -> prov.NumExpr:
+        """Aggregate provenance polynomial for an output cell."""
+        self._require_debug()
+        if not self.is_aggregate or self.groups is None or self.output_to_group is None:
+            raise ProvenanceError("cell_polynomial applies to aggregate queries only")
+        group = self.groups[self.output_to_group[row_index]]
+        try:
+            return group.cell_polys[column]
+        except KeyError:
+            raise ProvenanceError(
+                f"column {column!r} is not an aggregate output; "
+                f"available: {sorted(group.cell_polys)}"
+            ) from None
+
+    def group_polynomial_by_key(self, key: tuple, column: str) -> prov.NumExpr:
+        """Aggregate polynomial looked up by group key (works for currently
+        empty groups, which have no output row)."""
+        self._require_debug()
+        if self.groups is None:
+            raise ProvenanceError("no group metadata (not an aggregate query)")
+        for group in self.groups:
+            if group.key == key:
+                return group.cell_polys[column]
+        raise ProvenanceError(f"no candidate group with key {key!r}")
+
+    def tuple_condition(self, row_index: int) -> prov.BoolExpr:
+        """Existence condition of a concrete output tuple (SP/SPJ queries)."""
+        self._require_debug()
+        if self.is_aggregate:
+            if self.groups is None or self.output_to_group is None:
+                raise ProvenanceError("missing group metadata")
+            return self.groups[self.output_to_group[row_index]].condition
+        if self.candidate_conditions is None or self.output_to_candidate is None:
+            raise ProvenanceError("missing candidate metadata")
+        return self.candidate_conditions[self.output_to_candidate[row_index]]
+
+    def _require_debug(self) -> None:
+        if not self.debug:
+            raise ProvenanceError(
+                "lineage requested but the query was not executed in debug mode"
+            )
+
+
+class Executor:
+    """Evaluates plans against a :class:`Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    def execute(self, plan: Plan, debug: bool = False) -> QueryResult:
+        """Run ``plan``; with ``debug=True`` capture full lineage."""
+        runtime = QueryRuntime(self.database, debug=debug)
+        if isinstance(plan, Aggregate):
+            return self._execute_aggregate(plan, runtime)
+        batch = self._eval(plan, runtime)
+        return self._finalize_spj(plan, batch, runtime)
+
+    # -- SP / SPJ -------------------------------------------------------------
+
+    def _finalize_spj(
+        self, plan: Plan, batch: TupleBatch, runtime: QueryRuntime
+    ) -> QueryResult:
+        if runtime.debug:
+            assignment = runtime.current_assignment()
+            conditions = [batch.condition(i) for i in range(len(batch))]
+            alive = [
+                i for i, cond in enumerate(conditions) if cond.evaluate(assignment)
+            ]
+        else:
+            conditions = None
+            alive = list(range(len(batch)))
+        concrete = batch.take(np.asarray(alive, dtype=np.int64))
+        relation = Relation(
+            "result",
+            concrete.columns if concrete.columns else {"__empty__": np.zeros(0)},
+            row_ids=np.arange(len(concrete)),
+        )
+        return QueryResult(
+            relation=relation,
+            runtime=runtime,
+            candidate_batch=batch if runtime.debug else None,
+            candidate_conditions=conditions,
+            output_to_candidate=alive if runtime.debug else None,
+            is_aggregate=False,
+        )
+
+    # -- plan dispatch ---------------------------------------------------------
+
+    def _eval(self, plan: Plan, runtime: QueryRuntime) -> TupleBatch:
+        if isinstance(plan, Scan):
+            return self._eval_scan(plan, runtime)
+        if isinstance(plan, Filter):
+            return self._eval_filter(plan, runtime)
+        if isinstance(plan, Join):
+            return self._eval_join(plan, runtime)
+        if isinstance(plan, Project):
+            return self._eval_project(plan, runtime)
+        if isinstance(plan, Aggregate):
+            raise QueryError("Aggregate must be the plan root")
+        raise QueryError(f"unknown plan node {type(plan).__name__}")
+
+    def _eval_scan(self, plan: Scan, runtime: QueryRuntime) -> TupleBatch:
+        relation = self.database.relation(plan.relation_name)
+        return TupleBatch.from_relation(
+            relation, plan.effective_alias, debug=runtime.debug
+        )
+
+    def _eval_filter(self, plan: Filter, runtime: QueryRuntime) -> TupleBatch:
+        batch = self._eval(plan.child, runtime)
+        return self._apply_predicate(batch, plan.predicate, runtime)
+
+    def _apply_predicate(
+        self, batch: TupleBatch, predicate: Expr, runtime: QueryRuntime
+    ) -> TupleBatch:
+        if not runtime.debug:
+            mask = np.asarray(predicate.eval(batch, runtime), dtype=bool)
+            return batch.take(np.flatnonzero(mask))
+        # Debug: fold the predicate symbolically; drop only rows whose
+        # condition is deterministically FALSE.
+        symbolic = predicate.symbolic_bool(batch, runtime)
+        combined = [
+            prov.and_(batch.condition(i), cond) for i, cond in enumerate(symbolic)
+        ]
+        keep = [i for i, cond in enumerate(combined) if not cond.is_false()]
+        filtered = batch.take(np.asarray(keep, dtype=np.int64))
+        return filtered.with_conditions([combined[i] for i in keep])
+
+    def _eval_join(self, plan: Join, runtime: QueryRuntime) -> TupleBatch:
+        left = self._eval(plan.left, runtime)
+        right = self._eval(plan.right, runtime)
+        if plan.condition is None:
+            return TupleBatch.cross_product(left, right)
+        equi, residual = _split_join_condition(plan.condition, left, right)
+        if equi:
+            joined = _hash_join(left, right, equi)
+        else:
+            joined = TupleBatch.cross_product(left, right)
+        if residual is not None:
+            joined = self._apply_predicate(joined, residual, runtime)
+        return joined
+
+    def _eval_project(self, plan: Project, runtime: QueryRuntime) -> TupleBatch:
+        batch = self._eval(plan.child, runtime)
+        columns: dict[str, np.ndarray] = {}
+        for expr, name in plan.items:
+            columns[name] = np.asarray(expr.eval(batch, runtime))
+        return TupleBatch(
+            columns,
+            batch.alias_relations,
+            batch.alias_row_ids,
+            batch.conditions,
+        )
+
+    # -- aggregation -----------------------------------------------------------
+
+    def _execute_aggregate(self, plan: Aggregate, runtime: QueryRuntime) -> QueryResult:
+        batch = self._eval(plan.child, runtime)
+        n_rows = len(batch)
+
+        det_keys: list[tuple[str, np.ndarray]] = []
+        model_keys: list[tuple[str, ModelPredict]] = []
+        for expr, name in plan.group_by:
+            if isinstance(expr, ModelPredict):
+                model_keys.append((name, expr))
+            elif expr.depends_on_model():
+                raise QueryError(
+                    "GROUP BY expressions may be plain columns or predict(...)"
+                )
+            else:
+                det_keys.append((name, np.asarray(expr.eval(batch, runtime))))
+        if len(model_keys) > 1:
+            raise QueryError("at most one predict(...) GROUP BY key is supported")
+
+        # Row membership: (deterministic key tuple, per-class condition).
+        if runtime.debug:
+            row_conditions = [batch.condition(i) for i in range(n_rows)]
+        else:
+            row_conditions = [prov.TRUE] * n_rows
+
+        if model_keys:
+            key_name, predict_expr = model_keys[0]
+            classes = runtime.model_classes(predict_expr.model_name)
+            site_ids = predict_expr.site_ids(batch, runtime)
+        else:
+            classes = None
+            site_ids = None
+
+        # Candidate groups: det-key combos present in the batch x classes.
+        groups: dict[tuple, GroupInfo] = {}
+        membership: dict[tuple, list[tuple[int, prov.BoolExpr]]] = {}
+        for i in range(n_rows):
+            det_part = tuple(values[i].item() if hasattr(values[i], "item") else values[i]
+                             for _, values in det_keys)
+            if classes is None:
+                key = det_part
+                cond = row_conditions[i]
+                membership.setdefault(key, []).append((i, cond))
+            else:
+                for label in classes:
+                    key = det_part + (label,)
+                    cond = prov.and_(
+                        row_conditions[i], prov.PredIs(site_ids[i], label)
+                    )
+                    if cond.is_false():
+                        continue
+                    membership.setdefault(key, []).append((i, cond))
+
+        # Global aggregate: exactly one group even with zero rows.
+        if not plan.group_by and not membership:
+            membership[()] = []
+
+        agg_values = self._aggregate_arguments(plan.aggregates, batch, runtime)
+
+        group_order = sorted(membership.keys(), key=_key_sort_token)
+        group_infos: list[GroupInfo] = []
+        for key in group_order:
+            members = membership[key]
+            condition = prov.or_(*[cond for _, cond in members]) if members else prov.FALSE
+            if not plan.group_by:
+                condition = prov.TRUE  # a global aggregate row always exists
+            info = GroupInfo(key=key, condition=condition)
+            for position, spec in enumerate(plan.aggregates):
+                info.cell_polys[spec.name] = _aggregate_polynomial(
+                    spec, position, members, agg_values
+                )
+            group_infos.append(info)
+            groups[key] = info
+
+        # The prediction cache is populated in both modes (site_ids/symbolic_num
+        # run model inference), so the assignment is always available.
+        assignment = runtime.current_assignment()
+        # Concrete output: groups that currently exist.
+        out_rows: list[int] = []
+        for index, info in enumerate(group_infos):
+            if not plan.group_by or info.condition.evaluate(assignment):
+                out_rows.append(index)
+
+        key_names = [name for name, _ in det_keys] + (
+            [model_keys[0][0]] if model_keys else []
+        )
+        columns: dict[str, list] = {name: [] for name in key_names}
+        for spec in plan.aggregates:
+            columns[spec.name] = []
+        for index in out_rows:
+            info = group_infos[index]
+            for pos, name in enumerate(key_names):
+                columns[name].append(info.key[pos])
+            for spec in plan.aggregates:
+                columns[spec.name].append(info.cell_polys[spec.name].evaluate(assignment))
+
+        if columns:
+            relation = Relation(
+                "result",
+                {name: np.asarray(values) for name, values in columns.items()},
+                row_ids=np.arange(len(out_rows)),
+            )
+        else:
+            raise QueryError("aggregate query produced no output columns")
+
+        return QueryResult(
+            relation=relation,
+            runtime=runtime,
+            groups=group_infos if runtime.debug else None,
+            output_to_group=out_rows if runtime.debug else None,
+            is_aggregate=True,
+        )
+
+    def _aggregate_arguments(
+        self,
+        aggregates: Sequence[AggSpec],
+        batch: TupleBatch,
+        runtime: QueryRuntime,
+    ) -> dict[int, list[prov.NumExpr]]:
+        """Per-aggregate numeric provenance of each input row."""
+        out: dict[int, list[prov.NumExpr]] = {}
+        for position, spec in enumerate(aggregates):
+            if spec.arg is None:
+                continue
+            out[position] = spec.arg.symbolic_num(batch, runtime)
+        return out
+
+
+def _aggregate_polynomial(
+    spec: AggSpec,
+    position: int,
+    members: list[tuple[int, prov.BoolExpr]],
+    agg_values: dict[int, list[prov.NumExpr]],
+) -> prov.NumExpr:
+    """Provenance polynomial of one aggregate cell."""
+    if spec.func == "count":
+        return prov.LinearSum([(1.0, cond) for _, cond in members])
+    values = agg_values[position]
+    terms: list[prov.NumExpr] = []
+    for row_index, cond in members:
+        value = values[row_index]
+        if cond.is_true():
+            terms.append(value)
+        else:
+            terms.append(prov.mul_(prov.BoolAsNum(cond), value))
+    total = prov.add_(*terms) if terms else prov.ConstNum(0.0)
+    if spec.func == "sum":
+        return total
+    count = prov.LinearSum([(1.0, cond) for _, cond in members])
+    return prov.DivExpr(total, count)
+
+
+def _key_sort_token(key: tuple):
+    return tuple(str(part) for part in key)
+
+
+def _split_join_condition(
+    condition: Expr, left: TupleBatch, right: TupleBatch
+) -> tuple[list[tuple[str, str]], Expr | None]:
+    """Split a join condition into deterministic equi-pairs + residual.
+
+    Returns ``(equi_pairs, residual)`` where each equi pair is a
+    (left column, right column) qualified-name pair usable by a hash join.
+    Model-dependent or non-equality conjuncts stay in the residual.
+    """
+    conjuncts = _flatten_and(condition)
+    equi: list[tuple[str, str]] = []
+    residual: list[Expr] = []
+    for conjunct in conjuncts:
+        pair = _as_equi_pair(conjunct, left, right)
+        if pair is not None:
+            equi.append(pair)
+        else:
+            residual.append(conjunct)
+    residual_expr: Expr | None = None
+    if residual:
+        residual_expr = residual[0] if len(residual) == 1 else BoolAnd(residual)
+    return equi, residual_expr
+
+
+def _flatten_and(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BoolAnd):
+        out: list[Expr] = []
+        for child in expr.children():
+            out.extend(_flatten_and(child))
+        return out
+    return [expr]
+
+
+def _as_equi_pair(
+    expr: Expr, left: TupleBatch, right: TupleBatch
+) -> tuple[str, str] | None:
+    if not isinstance(expr, Cmp) or expr.op != "=" or expr.depends_on_model():
+        return None
+    if not isinstance(expr.left, Col) or not isinstance(expr.right, Col):
+        return None
+    try:
+        left_name = left.resolve(expr.left.name)
+        right_name = right.resolve(expr.right.name)
+        return (left_name, right_name)
+    except QueryError:
+        pass
+    try:
+        left_name = left.resolve(expr.right.name)
+        right_name = right.resolve(expr.left.name)
+        return (left_name, right_name)
+    except QueryError:
+        return None
+
+
+def _hash_join(
+    left: TupleBatch, right: TupleBatch, equi: list[tuple[str, str]]
+) -> TupleBatch:
+    """Deterministic hash join on equality column pairs."""
+    left_keys = [left.columns[l] for l, _ in equi]
+    right_keys = [right.columns[r] for _, r in equi]
+    table: dict[tuple, list[int]] = {}
+    for j in range(len(right)):
+        key = tuple(_hashable(values[j]) for values in right_keys)
+        table.setdefault(key, []).append(j)
+    left_index: list[int] = []
+    right_index: list[int] = []
+    for i in range(len(left)):
+        key = tuple(_hashable(values[i]) for values in left_keys)
+        for j in table.get(key, ()):
+            left_index.append(i)
+            right_index.append(j)
+    return TupleBatch.paired(
+        left,
+        right,
+        np.asarray(left_index, dtype=np.int64),
+        np.asarray(right_index, dtype=np.int64),
+    )
+
+
+def _hashable(value):
+    if isinstance(value, np.ndarray):
+        return value.tobytes()
+    if hasattr(value, "item"):
+        return value.item()
+    return value

@@ -1,0 +1,467 @@
+"""The expression language of Query 2.0 plans.
+
+Expressions evaluate *concretely* (numpy arrays, one value per tuple) and,
+for the debug-mode executor, *symbolically*:
+
+- boolean expressions produce per-tuple
+  :class:`~repro.relational.provenance.BoolExpr` conditions in which
+  deterministic sub-predicates are folded to TRUE/FALSE and model-dependent
+  comparisons become :class:`~repro.relational.provenance.PredIs` atoms;
+- numeric expressions (aggregate arguments) produce per-tuple
+  :class:`~repro.relational.provenance.NumExpr` polynomials.
+
+``M.predict(...)`` is the only source of uncertainty: the queried data is
+trusted (the paper's standing assumption), so everything not reachable from
+a :class:`ModelPredict` node folds to constants.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import QueryError, UnsupportedQueryError
+from . import provenance as prov
+from .context import QueryRuntime, TupleBatch
+
+_COMPARATORS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "**": operator.pow,
+}
+
+
+class Expr:
+    """Base class for all expressions."""
+
+    def eval(self, batch: TupleBatch, runtime: QueryRuntime) -> np.ndarray:
+        """Concrete per-tuple values (models evaluated through the cache)."""
+        raise NotImplementedError
+
+    def depends_on_model(self) -> bool:
+        """True if any :class:`ModelPredict` occurs in this subtree."""
+        return any(child.depends_on_model() for child in self.children())
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+    def referenced_columns(self) -> set[str]:
+        out: set[str] = set()
+        for child in self.children():
+            out |= child.referenced_columns()
+        return out
+
+    # -- symbolic interfaces (overridden where meaningful) -------------------
+
+    def symbolic_bool(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> list[prov.BoolExpr]:
+        """Per-tuple boolean provenance.  Default: fold concrete values."""
+        if self.depends_on_model():
+            raise UnsupportedQueryError(
+                f"cannot build boolean provenance for {self!r}",
+                feature=type(self).__name__,
+            )
+        values = np.asarray(self.eval(batch, runtime), dtype=bool)
+        return [prov.const(bool(value)) for value in values]
+
+    def symbolic_num(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> list[prov.NumExpr]:
+        """Per-tuple numeric provenance.  Default: fold concrete values."""
+        if self.depends_on_model():
+            raise UnsupportedQueryError(
+                f"cannot build numeric provenance for {self!r}",
+                feature=type(self).__name__,
+            )
+        values = np.asarray(self.eval(batch, runtime), dtype=float)
+        return [prov.ConstNum(float(value)) for value in values]
+
+
+class Col(Expr):
+    """A column reference, optionally qualified (``alias.column``)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def eval(self, batch: TupleBatch, runtime: QueryRuntime) -> np.ndarray:
+        return batch.values(self.name)
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"Col({self.name!r})"
+
+
+class Const(Expr):
+    """A literal constant."""
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def eval(self, batch: TupleBatch, runtime: QueryRuntime) -> np.ndarray:
+        return np.full(len(batch), self.value)
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+class Arith(Expr):
+    """Binary arithmetic: ``+ - * / **``."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _ARITHMETIC:
+            raise QueryError(f"unsupported arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def eval(self, batch: TupleBatch, runtime: QueryRuntime) -> np.ndarray:
+        left = np.asarray(self.left.eval(batch, runtime), dtype=float)
+        right = np.asarray(self.right.eval(batch, runtime), dtype=float)
+        return _ARITHMETIC[self.op](left, right)
+
+    def symbolic_num(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> list[prov.NumExpr]:
+        if not self.depends_on_model():
+            return super().symbolic_num(batch, runtime)
+        left = self.left.symbolic_num(batch, runtime)
+        right = self.right.symbolic_num(batch, runtime)
+        if self.op == "+":
+            return [prov.add_(l, r) for l, r in zip(left, right)]
+        if self.op == "-":
+            return [
+                prov.add_(l, prov.mul_(prov.ConstNum(-1.0), r))
+                for l, r in zip(left, right)
+            ]
+        if self.op == "*":
+            return [prov.mul_(l, r) for l, r in zip(left, right)]
+        if self.op == "/":
+            return [prov.DivExpr(l, r) for l, r in zip(left, right)]
+        raise UnsupportedQueryError(
+            f"operator {self.op!r} over model predictions is not supported",
+            feature="arith-over-predict",
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class ModelPredict(Expr):
+    """``model.predict(features)`` over a feature column of one relation."""
+
+    def __init__(self, model_name: str, features: Col) -> None:
+        if not isinstance(features, Col):
+            raise UnsupportedQueryError(
+                "predict(...) takes a single feature-column reference",
+                feature="predict-arg",
+            )
+        self.model_name = model_name
+        self.features = features
+
+    def children(self) -> Sequence[Expr]:
+        return (self.features,)
+
+    def depends_on_model(self) -> bool:
+        return True
+
+    def _site_inputs(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> tuple[str, np.ndarray, np.ndarray]:
+        """(base relation name, base row ids, feature array) for the batch."""
+        alias = batch.alias_of_column(self.features.name)
+        relation_name = batch.alias_relations[alias]
+        row_ids = batch.alias_row_ids[alias]
+        features = batch.values(self.features.name)
+        return relation_name, row_ids, features
+
+    def eval(self, batch: TupleBatch, runtime: QueryRuntime) -> np.ndarray:
+        relation_name, row_ids, features = self._site_inputs(batch, runtime)
+        return runtime.predict(self.model_name, relation_name, row_ids, features)
+
+    def site_ids(self, batch: TupleBatch, runtime: QueryRuntime) -> list[int]:
+        """Intern one inference site per tuple; triggers prediction caching."""
+        relation_name, row_ids, features = self._site_inputs(batch, runtime)
+        # Populate the prediction cache so sites always have concrete values.
+        runtime.predict(self.model_name, relation_name, row_ids, features)
+        return runtime.intern_sites(self.model_name, relation_name, row_ids, features)
+
+    def symbolic_num(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> list[prov.NumExpr]:
+        classes = runtime.model_classes(self.model_name)
+        try:
+            class_values = [(label, float(label)) for label in classes]
+        except (TypeError, ValueError) as exc:
+            raise UnsupportedQueryError(
+                f"model {self.model_name!r} has non-numeric classes; its "
+                "predictions cannot appear in an arithmetic context",
+                feature="predict-as-number",
+            ) from exc
+        return [
+            prov.pred_value(site_id, class_values)
+            for site_id in self.site_ids(batch, runtime)
+        ]
+
+    def __repr__(self) -> str:
+        return f"{self.model_name}.predict({self.features.name})"
+
+
+class Cmp(Expr):
+    """Comparison; the bridge between predictions and boolean provenance."""
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in _COMPARATORS:
+            raise QueryError(f"unsupported comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def eval(self, batch: TupleBatch, runtime: QueryRuntime) -> np.ndarray:
+        left = self.left.eval(batch, runtime)
+        right = self.right.eval(batch, runtime)
+        return np.asarray(_COMPARATORS[self.op](left, right), dtype=bool)
+
+    def symbolic_bool(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> list[prov.BoolExpr]:
+        left_model = self.left.depends_on_model()
+        right_model = self.right.depends_on_model()
+        if not left_model and not right_model:
+            return super().symbolic_bool(batch, runtime)
+
+        if isinstance(self.left, ModelPredict) and not right_model:
+            return self._predict_vs_values(self.left, self.right, self.op, batch, runtime)
+        if isinstance(self.right, ModelPredict) and not left_model:
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(self.op, self.op)
+            return self._predict_vs_values(self.right, self.left, flipped, batch, runtime)
+        if isinstance(self.left, ModelPredict) and isinstance(self.right, ModelPredict):
+            return self._predict_vs_predict(batch, runtime)
+        raise UnsupportedQueryError(
+            f"comparison {self!r} mixes predictions into arithmetic; "
+            "only direct comparisons of predict(...) are supported in WHERE",
+            feature="cmp-over-predict",
+        )
+
+    def _predict_vs_values(
+        self,
+        predict: ModelPredict,
+        other: Expr,
+        op: str,
+        batch: TupleBatch,
+        runtime: QueryRuntime,
+    ) -> list[prov.BoolExpr]:
+        classes = runtime.model_classes(predict.model_name)
+        site_ids = predict.site_ids(batch, runtime)
+        values = other.eval(batch, runtime)
+        compare = _COMPARATORS[op]
+        out: list[prov.BoolExpr] = []
+        for site_id, value in zip(site_ids, values):
+            value = value.item() if hasattr(value, "item") else value
+            matching = [label for label in classes if _safe_compare(compare, label, value)]
+            if len(matching) == len(classes):
+                out.append(prov.TRUE)  # exhaustive: always satisfied
+            else:
+                out.append(
+                    prov.or_(*[prov.PredIs(site_id, label) for label in matching])
+                )
+        return out
+
+    def _predict_vs_predict(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> list[prov.BoolExpr]:
+        left: ModelPredict = self.left  # type: ignore[assignment]
+        right: ModelPredict = self.right  # type: ignore[assignment]
+        left_classes = runtime.model_classes(left.model_name)
+        right_classes = runtime.model_classes(right.model_name)
+        left_sites = left.site_ids(batch, runtime)
+        right_sites = right.site_ids(batch, runtime)
+        compare = _COMPARATORS[self.op]
+        out: list[prov.BoolExpr] = []
+        for left_site, right_site in zip(left_sites, right_sites):
+            if left_site == right_site:
+                # Same base row on both sides: predict(x) op predict(x).
+                matching = [c for c in left_classes if _safe_compare(compare, c, c)]
+                if len(matching) == len(left_classes):
+                    out.append(prov.TRUE)
+                else:
+                    out.append(
+                        prov.or_(*[prov.PredIs(left_site, c) for c in matching])
+                    )
+                continue
+            disjuncts = [
+                prov.and_(prov.PredIs(left_site, lc), prov.PredIs(right_site, rc))
+                for lc in left_classes
+                for rc in right_classes
+                if _safe_compare(compare, lc, rc)
+            ]
+            out.append(prov.or_(*disjuncts))
+        return out
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+def _safe_compare(compare, left, right) -> bool:
+    try:
+        return bool(compare(left, right))
+    except TypeError:
+        return False
+
+
+class BoolAnd(Expr):
+    """N-ary conjunction."""
+
+    def __init__(self, children: Sequence[Expr]) -> None:
+        self._children = tuple(children)
+        if not self._children:
+            raise QueryError("AND needs at least one operand")
+
+    def children(self) -> Sequence[Expr]:
+        return self._children
+
+    def eval(self, batch: TupleBatch, runtime: QueryRuntime) -> np.ndarray:
+        result = np.ones(len(batch), dtype=bool)
+        for child in self._children:
+            result &= np.asarray(child.eval(batch, runtime), dtype=bool)
+        return result
+
+    def symbolic_bool(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> list[prov.BoolExpr]:
+        parts = [child.symbolic_bool(batch, runtime) for child in self._children]
+        return [prov.and_(*row_parts) for row_parts in zip(*parts)]
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self._children)) + ")"
+
+
+class BoolOr(Expr):
+    """N-ary disjunction."""
+
+    def __init__(self, children: Sequence[Expr]) -> None:
+        self._children = tuple(children)
+        if not self._children:
+            raise QueryError("OR needs at least one operand")
+
+    def children(self) -> Sequence[Expr]:
+        return self._children
+
+    def eval(self, batch: TupleBatch, runtime: QueryRuntime) -> np.ndarray:
+        result = np.zeros(len(batch), dtype=bool)
+        for child in self._children:
+            result |= np.asarray(child.eval(batch, runtime), dtype=bool)
+        return result
+
+    def symbolic_bool(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> list[prov.BoolExpr]:
+        parts = [child.symbolic_bool(batch, runtime) for child in self._children]
+        return [prov.or_(*row_parts) for row_parts in zip(*parts)]
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self._children)) + ")"
+
+
+class BoolNot(Expr):
+    """Negation."""
+
+    def __init__(self, child: Expr) -> None:
+        self.child = child
+
+    def children(self) -> Sequence[Expr]:
+        return (self.child,)
+
+    def eval(self, batch: TupleBatch, runtime: QueryRuntime) -> np.ndarray:
+        return ~np.asarray(self.child.eval(batch, runtime), dtype=bool)
+
+    def symbolic_bool(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> list[prov.BoolExpr]:
+        return [prov.not_(cond) for cond in self.child.symbolic_bool(batch, runtime)]
+
+    def __repr__(self) -> str:
+        return f"NOT {self.child!r}"
+
+
+class Like(Expr):
+    """SQL ``LIKE`` over a string column with ``%`` wildcards.
+
+    Supports the patterns used in the paper's queries: ``%word%`` (contains),
+    ``word%`` (prefix), ``%word`` (suffix), and exact match.
+    """
+
+    def __init__(self, column: Expr, pattern: str) -> None:
+        self.column = column
+        self.pattern = pattern
+
+    def children(self) -> Sequence[Expr]:
+        return (self.column,)
+
+    def eval(self, batch: TupleBatch, runtime: QueryRuntime) -> np.ndarray:
+        values = self.column.eval(batch, runtime)
+        pattern = self.pattern
+        contains = pattern.startswith("%") and pattern.endswith("%") and len(pattern) >= 2
+        prefix = pattern.endswith("%") and not pattern.startswith("%")
+        suffix = pattern.startswith("%") and not pattern.endswith("%")
+        needle = pattern.strip("%")
+        if "%" in needle:
+            raise UnsupportedQueryError(
+                f"LIKE pattern {pattern!r} with interior wildcards is not supported",
+                feature="like-pattern",
+            )
+        out = np.zeros(len(values), dtype=bool)
+        for index, value in enumerate(values):
+            text = str(value)
+            if contains:
+                out[index] = needle in text
+            elif prefix:
+                out[index] = text.startswith(needle)
+            elif suffix:
+                out[index] = text.endswith(needle)
+            else:
+                out[index] = text == needle
+        return out
+
+    def __repr__(self) -> str:
+        return f"({self.column!r} LIKE {self.pattern!r})"
+
+
+# -- convenience constructors used by tests and examples ---------------------
+
+
+def col(name: str) -> Col:
+    return Col(name)
+
+
+def lit(value) -> Const:
+    return Const(value)
+
+
+def predict(model_name: str, feature_column: str) -> ModelPredict:
+    return ModelPredict(model_name, Col(feature_column))
+
+
+def eq(left: Expr, right: Expr) -> Cmp:
+    return Cmp("=", left, right)

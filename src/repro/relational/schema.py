@@ -1,0 +1,198 @@
+"""Relations and databases: the minimal storage layer under the query engine.
+
+A :class:`Relation` is a named collection of equal-length columns.  Scalar
+columns are 1-d numpy arrays; *feature* columns (model inputs: feature
+vectors, images) are numpy arrays whose first axis indexes rows, e.g. an
+MNIST column of shape ``(n, 28, 28)``.  Every relation carries stable
+``row_ids`` so that lineage survives filters, joins, and projections.
+
+A :class:`Database` is a dictionary of relations plus a registry of named
+models — the ``D`` and ``M`` of the paper's ``Q(D; M(T))``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..errors import SchemaError
+
+
+class Relation:
+    """An immutable-by-convention table with named columns and row ids."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Mapping[str, np.ndarray | Sequence],
+        row_ids: np.ndarray | Sequence[int] | None = None,
+    ) -> None:
+        if not columns:
+            raise SchemaError(f"relation {name!r} must have at least one column")
+        self.name = name
+        self.columns: dict[str, np.ndarray] = {}
+        n_rows: int | None = None
+        for col_name, values in columns.items():
+            array = np.asarray(values)
+            if array.ndim == 0:
+                raise SchemaError(
+                    f"column {col_name!r} of relation {name!r} is a scalar"
+                )
+            if n_rows is None:
+                n_rows = array.shape[0]
+            elif array.shape[0] != n_rows:
+                raise SchemaError(
+                    f"column {col_name!r} of {name!r} has {array.shape[0]} rows, "
+                    f"expected {n_rows}"
+                )
+            self.columns[col_name] = array
+        assert n_rows is not None
+        if row_ids is None:
+            self.row_ids = np.arange(n_rows, dtype=np.int64)
+        else:
+            self.row_ids = np.asarray(row_ids, dtype=np.int64)
+            if self.row_ids.shape != (n_rows,):
+                raise SchemaError(
+                    f"row_ids of {name!r} has shape {self.row_ids.shape}, "
+                    f"expected ({n_rows},)"
+                )
+
+    # -- basic protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.row_ids.shape[0])
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.column_names)
+        return f"Relation({self.name!r}, {len(self)} rows, columns=[{cols}])"
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns.keys())
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no column {name!r}; "
+                f"available: {self.column_names}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self.columns
+
+    # -- derivations ---------------------------------------------------------
+
+    def take(self, indices: np.ndarray | Sequence[int], name: str | None = None) -> "Relation":
+        """Row subset by positional indices, preserving row ids."""
+        indices = np.asarray(indices, dtype=np.int64)
+        new_columns = {col: values[indices] for col, values in self.columns.items()}
+        return Relation(name or self.name, new_columns, row_ids=self.row_ids[indices])
+
+    def filter_mask(self, mask: np.ndarray, name: str | None = None) -> "Relation":
+        """Row subset by boolean mask, preserving row ids."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise SchemaError(
+                f"mask shape {mask.shape} does not match relation of {len(self)} rows"
+            )
+        return self.take(np.flatnonzero(mask), name=name)
+
+    def project(self, column_names: Sequence[str], name: str | None = None) -> "Relation":
+        """Column subset, preserving row ids."""
+        new_columns = {col: self.column(col) for col in column_names}
+        return Relation(name or self.name, new_columns, row_ids=self.row_ids.copy())
+
+    def rename(self, name: str) -> "Relation":
+        return Relation(name, self.columns, row_ids=self.row_ids.copy())
+
+    def with_column(self, column_name: str, values: np.ndarray | Sequence) -> "Relation":
+        """A copy with one column added or replaced."""
+        new_columns = dict(self.columns)
+        new_columns[column_name] = np.asarray(values)
+        return Relation(self.name, new_columns, row_ids=self.row_ids.copy())
+
+    def row(self, index: int) -> dict[str, Any]:
+        """One row as a plain dict (scalar cells unwrapped)."""
+        out: dict[str, Any] = {}
+        for col, values in self.columns.items():
+            cell = values[index]
+            out[col] = cell.item() if np.ndim(cell) == 0 else cell
+        return out
+
+    def iter_rows(self) -> Iterable[dict[str, Any]]:
+        for index in range(len(self)):
+            yield self.row(index)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return list(self.iter_rows())
+
+    @classmethod
+    def from_dicts(cls, name: str, rows: Sequence[Mapping[str, Any]]) -> "Relation":
+        """Build a relation from a list of homogeneous row dicts."""
+        if not rows:
+            raise SchemaError("from_dicts needs at least one row")
+        keys = list(rows[0].keys())
+        for index, row in enumerate(rows):
+            if list(row.keys()) != keys:
+                raise SchemaError(f"row {index} keys differ from row 0")
+        columns = {key: np.asarray([row[key] for row in rows]) for key in keys}
+        return cls(name, columns)
+
+
+class Database:
+    """Named relations plus named models — the queried world ``D``."""
+
+    def __init__(
+        self,
+        relations: Mapping[str, Relation] | Iterable[Relation] = (),
+        models: Mapping[str, Any] | None = None,
+    ) -> None:
+        self._relations: dict[str, Relation] = {}
+        if isinstance(relations, Mapping):
+            for name, rel in relations.items():
+                self.add_relation(rel if rel.name == name else rel.rename(name))
+        else:
+            for rel in relations:
+                self.add_relation(rel)
+        self._models: dict[str, Any] = dict(models or {})
+
+    def add_relation(self, relation: Relation) -> None:
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"database has no relation {name!r}; "
+                f"available: {sorted(self._relations)}"
+            ) from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    @property
+    def relation_names(self) -> list[str]:
+        return sorted(self._relations)
+
+    def add_model(self, name: str, model: Any) -> None:
+        self._models[name] = model
+
+    def model(self, name: str) -> Any:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise SchemaError(
+                f"database has no model {name!r}; available: {sorted(self._models)}"
+            ) from None
+
+    def has_model(self, name: str) -> bool:
+        return name in self._models
+
+    @property
+    def model_names(self) -> list[str]:
+        return sorted(self._models)

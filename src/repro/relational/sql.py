@@ -1,0 +1,570 @@
+"""A small SQL front-end for the Query 2.0 fragment of the paper.
+
+Supports the query shapes of Table 1 / Table 2:
+
+.. code-block:: sql
+
+    SELECT COUNT(*) FROM R WHERE predict(*) = 1
+    SELECT COUNT(*) FROM Enron WHERE predict(*) = 'spam' AND text LIKE '%http%'
+    SELECT * FROM MNIST_L L, MNIST_R R WHERE predict(L) = predict(R)
+    SELECT AVG(predict(*)) FROM Adult GROUP BY gender
+    SELECT COUNT(*) FROM Users U JOIN Logins L ON U.id = L.id
+        WHERE L.active_last_month = 1 AND churn.predict(U.features) = 'churn'
+
+``predict(...)`` resolves to a registered model: ``name.predict(...)`` picks
+the model explicitly; bare ``predict(...)`` works when the database has
+exactly one model.  The argument may be ``*`` (the single feature column of
+the single FROM relation), an alias (that relation's feature column), or a
+column reference.  A *feature column* is any column whose cells are arrays
+(``ndim >= 2``), or a column literally named ``features``.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import SQLSyntaxError, UnsupportedQueryError
+from .algebra import AggSpec, Aggregate, Filter, Join, Plan, Project, Scan
+from .expressions import (
+    Arith,
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Cmp,
+    Col,
+    Const,
+    Expr,
+    Like,
+    ModelPredict,
+)
+from .schema import Database
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "by", "and", "or", "not", "like",
+    "as", "join", "on", "count", "sum", "avg", "inner",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        (?P<number>\d+\.\d+|\d+)
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|!=|<>|=|<|>|\(|\)|,|\*|\+|-|/|\.)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass
+class _Token:
+    kind: str  # 'number' | 'string' | 'name' | 'keyword' | 'op' | 'eof'
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise SQLSyntaxError(
+                f"cannot tokenize SQL near {remainder[:20]!r} (offset {position})"
+            )
+        position = match.end()
+        if match.group("number") is not None:
+            tokens.append(_Token("number", match.group("number"), match.start()))
+        elif match.group("string") is not None:
+            tokens.append(_Token("string", match.group("string")[1:-1], match.start()))
+        elif match.group("name") is not None:
+            name = match.group("name")
+            kind = "keyword" if name.lower() in _KEYWORDS else "name"
+            value = name.lower() if kind == "keyword" else name
+            tokens.append(_Token(kind, value, match.start()))
+        else:
+            op = match.group("op")
+            if op == "<>":
+                op = "!="
+            tokens.append(_Token("op", op, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _PredictCall(Expr):
+    """Unresolved ``predict(...)`` placeholder created by the parser."""
+
+    def __init__(self, model_name: str | None, argument: str) -> None:
+        self.model_name = model_name
+        self.argument = argument  # '*', an alias, or a (dotted) column name
+
+    def eval(self, batch, runtime):  # pragma: no cover - resolved before exec
+        raise SQLSyntaxError("unresolved predict(...) placeholder")
+
+    def depends_on_model(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        model = self.model_name or "<default>"
+        return f"{model}.predict({self.argument})"
+
+
+@dataclass
+class _SelectItem:
+    expr: Expr | None  # None for bare '*'
+    agg: str | None  # 'count' | 'sum' | 'avg' | None
+    alias: str | None
+    is_star: bool = False
+    raw: str = ""
+
+
+@dataclass
+class _FromItem:
+    relation: str
+    alias: str
+
+
+@dataclass
+class ParsedQuery:
+    """Parser output; call :meth:`to_plan` with a database to resolve names."""
+
+    select_items: list[_SelectItem]
+    from_items: list[_FromItem]
+    where: Expr | None
+    group_by: list[Expr]
+    group_by_raw: list[str]
+    text: str
+
+    # -- planning ------------------------------------------------------------
+
+    def to_plan(self, database: Database) -> Plan:
+        resolver = _Resolver(database, self.from_items)
+        where = resolver.resolve(self.where) if self.where is not None else None
+
+        plan: Plan = Scan(self.from_items[0].relation, self.from_items[0].alias)
+        for item in self.from_items[1:]:
+            plan = Join(plan, Scan(item.relation, item.alias), condition=None)
+        if where is not None:
+            if isinstance(plan, Join):
+                plan = Join(plan.left, plan.right, condition=where)
+            else:
+                plan = Filter(plan, where)
+
+        has_aggregate = any(item.agg is not None for item in self.select_items)
+        if not has_aggregate and self.group_by:
+            raise UnsupportedQueryError(
+                "GROUP BY without aggregates is not supported", feature="group-by"
+            )
+        if not has_aggregate:
+            star = any(item.is_star for item in self.select_items)
+            if star:
+                if len(self.select_items) != 1:
+                    raise UnsupportedQueryError(
+                        "SELECT * cannot be mixed with other select items",
+                        feature="select-star",
+                    )
+                return plan
+            items = []
+            for index, item in enumerate(self.select_items):
+                expr = resolver.resolve(item.expr)
+                items.append((expr, item.alias or item.raw or f"col{index}"))
+            return Project(plan, items)
+
+        group_items: list[tuple[Expr, str]] = []
+        for raw, expr in zip(self.group_by_raw, self.group_by):
+            group_items.append((resolver.resolve(expr), raw))
+        aggregates: list[AggSpec] = []
+        used_names: set[str] = set()
+        for item in self.select_items:
+            if item.agg is None:
+                # A non-aggregate select item must be one of the group keys.
+                if item.raw not in {name for _, name in group_items}:
+                    raise UnsupportedQueryError(
+                        f"select item {item.raw!r} is neither aggregated nor a "
+                        "GROUP BY key",
+                        feature="select-non-grouped",
+                    )
+                continue
+            name = item.alias or item.agg
+            suffix = 2
+            while name in used_names:
+                name = f"{item.alias or item.agg}_{suffix}"
+                suffix += 1
+            used_names.add(name)
+            arg = resolver.resolve(item.expr) if item.expr is not None else None
+            aggregates.append(AggSpec(item.agg, arg, name))
+        return Aggregate(plan, group_items, aggregates)
+
+
+class _Resolver:
+    """Resolves parser placeholders (predict calls) against a database."""
+
+    def __init__(self, database: Database, from_items: Sequence[_FromItem]) -> None:
+        self.database = database
+        self.from_items = list(from_items)
+        self.aliases = {item.alias: item.relation for item in from_items}
+
+    def resolve(self, expr: Expr | None) -> Expr:
+        if expr is None:
+            raise SQLSyntaxError("missing expression")
+        if isinstance(expr, _PredictCall):
+            return self._resolve_predict(expr)
+        if isinstance(expr, Cmp):
+            return Cmp(expr.op, self.resolve(expr.left), self.resolve(expr.right))
+        if isinstance(expr, Arith):
+            return Arith(expr.op, self.resolve(expr.left), self.resolve(expr.right))
+        if isinstance(expr, BoolAnd):
+            return BoolAnd([self.resolve(child) for child in expr.children()])
+        if isinstance(expr, BoolOr):
+            return BoolOr([self.resolve(child) for child in expr.children()])
+        if isinstance(expr, BoolNot):
+            return BoolNot(self.resolve(expr.child))
+        if isinstance(expr, Like):
+            return Like(self.resolve(expr.column), expr.pattern)
+        return expr
+
+    def _resolve_predict(self, call: _PredictCall) -> ModelPredict:
+        model_name = call.model_name
+        if model_name is None:
+            names = self.database.model_names
+            if len(names) != 1:
+                raise UnsupportedQueryError(
+                    f"bare predict(...) needs exactly one registered model, "
+                    f"found {names}; qualify as <model>.predict(...)",
+                    feature="predict-model",
+                )
+            model_name = names[0]
+        elif not self.database.has_model(model_name):
+            raise UnsupportedQueryError(
+                f"unknown model {model_name!r}; registered: "
+                f"{self.database.model_names}",
+                feature="predict-model",
+            )
+
+        argument = call.argument
+        if argument == "*":
+            if len(self.from_items) != 1:
+                raise UnsupportedQueryError(
+                    "predict(*) is ambiguous with multiple FROM relations; "
+                    "use predict(<alias>)",
+                    feature="predict-star",
+                )
+            alias = self.from_items[0].alias
+            return ModelPredict(model_name, Col(self._feature_column(alias)))
+        if argument in self.aliases:
+            return ModelPredict(model_name, Col(self._feature_column(argument)))
+        # Otherwise treat it as a column reference (possibly qualified).
+        return ModelPredict(model_name, Col(argument))
+
+    def _feature_column(self, alias: str) -> str:
+        relation = self.database.relation(self.aliases[alias])
+        array_columns = [
+            name for name, values in relation.columns.items() if values.ndim >= 2
+        ]
+        if len(array_columns) == 1:
+            return f"{alias}.{array_columns[0]}"
+        if relation.has_column("features"):
+            return f"{alias}.features"
+        raise UnsupportedQueryError(
+            f"cannot infer the feature column of {relation.name!r}: "
+            f"array-valued columns {array_columns}; add a 'features' column "
+            "or name the column in predict(...)",
+            feature="feature-column",
+        )
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], text: str) -> None:
+        self.tokens = tokens
+        self.index = 0
+        self.text = text
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        token = self.advance()
+        if token.kind != "keyword" or token.value != keyword:
+            raise SQLSyntaxError(
+                f"expected {keyword.upper()}, got {token.value!r} at offset "
+                f"{token.position}"
+            )
+
+    def accept_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        if token.kind == "keyword" and token.value == keyword:
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        token = self.advance()
+        if token.kind != "op" or token.value != op:
+            raise SQLSyntaxError(
+                f"expected {op!r}, got {token.value!r} at offset {token.position}"
+            )
+
+    def accept_op(self, op: str) -> bool:
+        token = self.peek()
+        if token.kind == "op" and token.value == op:
+            self.advance()
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> ParsedQuery:
+        self.expect_keyword("select")
+        select_items = self._select_list()
+        self.expect_keyword("from")
+        from_items = self._from_list()
+        where = None
+        if self.accept_keyword("where"):
+            where = self._expr()
+        group_by: list[Expr] = []
+        group_by_raw: list[str] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            while True:
+                start = self.peek().position
+                group_by.append(self._primary())
+                end = self.peek().position
+                group_by_raw.append(self.text[start:end].strip())
+                if not self.accept_op(","):
+                    break
+        token = self.peek()
+        if token.kind != "eof":
+            raise SQLSyntaxError(
+                f"unexpected trailing input {token.value!r} at offset {token.position}"
+            )
+        return ParsedQuery(
+            select_items, from_items, where, group_by, group_by_raw, self.text
+        )
+
+    def _select_list(self) -> list[_SelectItem]:
+        items = [self._select_item()]
+        while self.accept_op(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> _SelectItem:
+        token = self.peek()
+        if token.kind == "op" and token.value == "*":
+            self.advance()
+            return _SelectItem(None, None, None, is_star=True, raw="*")
+        if token.kind == "keyword" and token.value in ("count", "sum", "avg"):
+            agg = token.value
+            self.advance()
+            self.expect_op("(")
+            if agg == "count" and self.accept_op("*"):
+                arg: Expr | None = None
+            else:
+                arg = self._expr()
+            self.expect_op(")")
+            alias = self._maybe_alias()
+            return _SelectItem(arg, agg, alias, raw=agg)
+        start = token.position
+        expr = self._expr()
+        end = self.peek().position
+        raw = self.text[start:end].strip()
+        alias = self._maybe_alias()
+        if alias is not None:
+            raw = self.text[start:end].strip()
+        return _SelectItem(expr, None, alias, raw=raw)
+
+    def _maybe_alias(self) -> str | None:
+        if self.accept_keyword("as"):
+            token = self.advance()
+            if token.kind != "name":
+                raise SQLSyntaxError(f"expected alias name, got {token.value!r}")
+            return token.value
+        return None
+
+    def _from_list(self) -> list[_FromItem]:
+        items = [self._table_ref()]
+        while True:
+            if self.accept_op(","):
+                items.append(self._table_ref())
+                continue
+            if self.peek().kind == "keyword" and self.peek().value in ("join", "inner"):
+                if self.accept_keyword("inner"):
+                    self.expect_keyword("join")
+                else:
+                    self.expect_keyword("join")
+                items.append(self._table_ref())
+                if self.accept_keyword("on"):
+                    condition = self._expr()
+                    # Record the ON condition to be ANDed into WHERE later by
+                    # stashing it on the item; handled below via _join_filters.
+                    self._join_filters.append(condition)
+                continue
+            break
+        return items
+
+    _join_filters: list[Expr]
+
+    def _table_ref(self) -> _FromItem:
+        token = self.advance()
+        if token.kind != "name":
+            raise SQLSyntaxError(f"expected relation name, got {token.value!r}")
+        relation = token.value
+        alias = relation
+        if self.accept_keyword("as"):
+            alias_token = self.advance()
+            if alias_token.kind != "name":
+                raise SQLSyntaxError(f"expected alias, got {alias_token.value!r}")
+            alias = alias_token.value
+        elif self.peek().kind == "name":
+            alias = self.advance().value
+        return _FromItem(relation, alias)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        parts = [self._and_expr()]
+        while self.accept_keyword("or"):
+            parts.append(self._and_expr())
+        return parts[0] if len(parts) == 1 else BoolOr(parts)
+
+    def _and_expr(self) -> Expr:
+        parts = [self._not_expr()]
+        while self.accept_keyword("and"):
+            parts.append(self._not_expr())
+        return parts[0] if len(parts) == 1 else BoolAnd(parts)
+
+    def _not_expr(self) -> Expr:
+        if self.accept_keyword("not"):
+            return BoolNot(self._not_expr())
+        return self._cmp_expr()
+
+    def _cmp_expr(self) -> Expr:
+        left = self._add_expr()
+        token = self.peek()
+        if token.kind == "op" and token.value in ("=", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            right = self._add_expr()
+            return Cmp(op, left, right)
+        if token.kind == "keyword" and token.value == "like":
+            self.advance()
+            pattern = self.advance()
+            if pattern.kind != "string":
+                raise SQLSyntaxError("LIKE requires a string pattern")
+            return Like(left, pattern.value)
+        return left
+
+    def _add_expr(self) -> Expr:
+        left = self._mul_expr()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                op = self.advance().value
+                left = Arith(op, left, self._mul_expr())
+            else:
+                return left
+
+    def _mul_expr(self) -> Expr:
+        left = self._unary()
+        while True:
+            token = self.peek()
+            if token.kind == "op" and token.value in ("*", "/"):
+                op = self.advance().value
+                left = Arith(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        if self.accept_op("-"):
+            return Arith("-", Const(0), self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self.advance()
+        if token.kind == "number":
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Const(value)
+        if token.kind == "string":
+            return Const(token.value)
+        if token.kind == "op" and token.value == "(":
+            inner = self._expr()
+            self.expect_op(")")
+            return inner
+        if token.kind == "name":
+            return self._name_expr(token.value)
+        raise SQLSyntaxError(
+            f"unexpected token {token.value!r} at offset {token.position}"
+        )
+
+    def _name_expr(self, first: str) -> Expr:
+        # Possibilities: column, alias.column, predict(...), model.predict(...),
+        # power(a, b).
+        if first.lower() == "predict" and self.accept_op("("):
+            return self._predict_args(None)
+        if first.lower() == "power" and self.accept_op("("):
+            base = self._expr()
+            self.expect_op(",")
+            exponent = self._expr()
+            self.expect_op(")")
+            return Arith("**", base, exponent)
+        if self.accept_op("."):
+            second_token = self.advance()
+            if second_token.kind not in ("name", "keyword"):
+                raise SQLSyntaxError(
+                    f"expected name after {first!r}., got {second_token.value!r}"
+                )
+            second = second_token.value
+            if second.lower() == "predict" and self.accept_op("("):
+                return self._predict_args(first)
+            return Col(f"{first}.{second}")
+        return Col(first)
+
+    def _predict_args(self, model_name: str | None) -> _PredictCall:
+        if self.accept_op("*"):
+            self.expect_op(")")
+            return _PredictCall(model_name, "*")
+        token = self.advance()
+        if token.kind != "name":
+            raise SQLSyntaxError(
+                f"predict(...) takes * or a column/alias, got {token.value!r}"
+            )
+        argument = token.value
+        if self.accept_op("."):
+            sub = self.advance()
+            if sub.kind not in ("name", "keyword"):
+                raise SQLSyntaxError(f"expected name, got {sub.value!r}")
+            argument = f"{argument}.{sub.value}"
+        self.expect_op(")")
+        return _PredictCall(model_name, argument)
+
+
+def parse(text: str) -> ParsedQuery:
+    """Parse SQL text into a :class:`ParsedQuery` (names unresolved)."""
+    parser = _Parser(_tokenize(text), text)
+    parser._join_filters = []
+    parsed = parser.parse()
+    if parser._join_filters:
+        conjuncts = list(parser._join_filters)
+        if parsed.where is not None:
+            conjuncts.append(parsed.where)
+        parsed.where = conjuncts[0] if len(conjuncts) == 1 else BoolAnd(conjuncts)
+    return parsed
+
+
+def plan_sql(text: str, database: Database) -> Plan:
+    """Parse and plan SQL against ``database``."""
+    return parse(text).to_plan(database)

@@ -1,0 +1,6 @@
+"""Holistic's differentiable relaxation of provenance + complaints."""
+
+from .objective import RelaxedComplaintObjective
+from .relax import Relaxer
+
+__all__ = ["RelaxedComplaintObjective", "Relaxer"]

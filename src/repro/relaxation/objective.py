@@ -1,0 +1,125 @@
+"""Complaint → differentiable objective ``q(θ)`` (Section 5.3.2).
+
+Given a debug-mode :class:`~repro.relational.executor.QueryResult` and the
+complaints raised against it, this module constructs::
+
+    q(θ) = Σ_complaints (rq(θ) - X)²        for value complaints
+         + Σ_complaints (rq_t(θ) - 0)²      for tuple complaints
+         + Σ_complaints (p_label(θ) - 1)²   for prediction complaints
+
+where every ``rq`` is the relaxed provenance polynomial evaluated on the
+model's class probabilities at the query's inference sites.  Inequality
+value complaints are treated as equalities only while violated, matching
+the paper's train-rank-fix handling.
+
+``∇_θ q`` is assembled as ``prob_vjp(X_sites, ∂q/∂P)`` — one reverse sweep
+through the relaxation DAG plus one weighted backward pass in the model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..complaints.complaint import (
+    PredictionComplaint,
+    TupleComplaint,
+    ValueComplaint,
+)
+from ..errors import RelaxationError
+from ..relational.executor import QueryResult
+from .relax import Relaxer
+
+
+class RelaxedComplaintObjective:
+    """The differentiable q(θ) for one query's complaint set."""
+
+    def __init__(self, result: QueryResult, complaints: Sequence) -> None:
+        if not result.debug:
+            raise RelaxationError("Holistic needs a debug-mode query result")
+        self.result = result
+        self.complaints = list(complaints)
+        self.runtime = result.runtime
+
+        site_ids = sorted(site.site_id for site in self.runtime.sites)
+        if not site_ids:
+            raise RelaxationError(
+                "the query contains no model inference; nothing to debug"
+            )
+        model_names = {self.runtime.sites[s].model_name for s in site_ids}
+        if len(model_names) != 1:
+            raise RelaxationError(
+                f"queries embedding multiple models are unsupported: {model_names}"
+            )
+        self.model_name = model_names.pop()
+        self.model = self.runtime.model(self.model_name)
+        self.site_ids = site_ids
+        self.X_sites = self.runtime.features_for_sites(site_ids)
+        self.relaxer = Relaxer.for_model(self.model)
+        # site_id -> row of X_sites / P (site ids are dense, but be safe).
+        self._site_row = {site_id: row for row, site_id in enumerate(site_ids)}
+
+    # -- probability matrix ------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Current class probabilities at each inference site."""
+        return np.asarray(self.model.predict_proba(self.X_sites), dtype=np.float64)
+
+    def _expand(self, P_rows: np.ndarray) -> np.ndarray:
+        """Map row-indexed P to site-indexed P for the relaxer."""
+        max_site = max(self.site_ids) + 1
+        P = np.zeros((max_site, P_rows.shape[1]))
+        for site_id, row in self._site_row.items():
+            P[site_id] = P_rows[row]
+        return P
+
+    def _collapse(self, grad_sites: np.ndarray) -> np.ndarray:
+        rows = np.zeros((len(self.site_ids), grad_sites.shape[1]))
+        for site_id, row in self._site_row.items():
+            rows[row] = grad_sites[site_id]
+        return rows
+
+    # -- q and its gradients --------------------------------------------------------
+
+    def q_value_and_pgrad(self, P_rows: np.ndarray) -> tuple[float, np.ndarray]:
+        """``q`` and ``∂q/∂P`` (both in row-indexed site order)."""
+        P = self._expand(P_rows)
+        total = 0.0
+        grad = np.zeros_like(P)
+        for complaint in self.complaints:
+            value, cgrad = self._complaint_term(complaint, P)
+            total += value
+            grad += cgrad
+        return total, self._collapse(grad)
+
+    def _complaint_term(self, complaint, P: np.ndarray) -> tuple[float, np.ndarray]:
+        if isinstance(complaint, ValueComplaint):
+            poly = complaint.polynomial(self.result)
+            if complaint.op in ("<=", ">=") and complaint.is_satisfied(self.result):
+                return 0.0, np.zeros_like(P)
+            relaxed, pgrad = self.relaxer.value_and_grad(poly, P)
+            residual = relaxed - complaint.value
+            return residual**2, 2.0 * residual * pgrad
+        if isinstance(complaint, TupleComplaint):
+            condition = complaint.condition(self.result)
+            relaxed, pgrad = self.relaxer.value_and_grad(condition, P)
+            return relaxed**2, 2.0 * relaxed * pgrad
+        if isinstance(complaint, PredictionComplaint):
+            site_id = complaint.site_id(self.result)
+            column = self.relaxer.class_columns[complaint.label]
+            residual = float(P[site_id, column]) - 1.0
+            pgrad = np.zeros_like(P)
+            pgrad[site_id, column] = 2.0 * residual
+            return residual**2, pgrad
+        raise RelaxationError(f"unknown complaint type {type(complaint).__name__}")
+
+    def q_value(self) -> float:
+        q, _ = self.q_value_and_pgrad(self.probabilities())
+        return q
+
+    def q_grad_theta(self) -> np.ndarray:
+        """``∇_θ q(θ)`` at the current model parameters."""
+        P_rows = self.probabilities()
+        _, pgrad_rows = self.q_value_and_pgrad(P_rows)
+        return self.model.prob_vjp(self.X_sites, pgrad_rows)

@@ -1,0 +1,84 @@
+"""Layer and parameter-vector tests for the nn module."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+from repro.ml.neural import make_cnn, make_mlp
+
+
+class TestDense:
+    def test_output_shape(self):
+        layer = Dense(4, 3, rng=0)
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_parameters(self):
+        layer = Dense(4, 3, rng=0)
+        assert len(layer.parameters()) == 2
+        assert layer.n_params() == 4 * 3 + 3
+
+    def test_no_bias(self):
+        layer = Dense(4, 3, rng=0, bias=False)
+        assert layer.n_params() == 12
+
+
+class TestSequentialFlat:
+    def test_flat_roundtrip(self):
+        net = make_mlp(6, [5], 3, rng=1)
+        flat = net.get_flat()
+        assert flat.shape == (net.n_params(),)
+        net.set_flat(np.zeros_like(flat))
+        assert np.all(net.get_flat() == 0)
+        net.set_flat(flat)
+        np.testing.assert_array_equal(net.get_flat(), flat)
+
+    def test_set_flat_wrong_shape_raises(self):
+        net = make_mlp(6, [5], 3, rng=1)
+        with pytest.raises(ValueError, match="shape"):
+            net.set_flat(np.zeros(3))
+
+    def test_grad_flat_zeros_without_backward(self):
+        net = make_mlp(4, [3], 2, rng=0)
+        assert np.all(net.grad_flat() == 0)
+
+    def test_forward_deterministic_given_seed(self):
+        x = np.random.default_rng(3).normal(size=(4, 6))
+        a = make_mlp(6, [5], 3, rng=42)(Tensor(x)).data
+        b = make_mlp(6, [5], 3, rng=42)(Tensor(x)).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCNN:
+    def test_cnn_shapes(self):
+        net = make_cnn(image_size=28, n_classes=10, channels=4, rng=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 1, 28, 28)))
+        out = net(x)
+        assert out.shape == (3, 10)
+
+    def test_cnn_param_count(self):
+        net = make_cnn(image_size=28, n_classes=10, channels=4, kernel=5, pool=2, rng=0)
+        conv_params = 4 * 1 * 5 * 5 + 4
+        dense_in = 4 * 12 * 12
+        dense_params = dense_in * 10 + 10
+        assert net.n_params() == conv_params + dense_params
+
+    def test_cnn_bad_geometry_raises(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError, match="divisible"):
+            make_cnn(image_size=28, n_classes=10, kernel=4, pool=2, rng=0)
+
+    def test_pool_flatten_pipeline(self):
+        net = Sequential([Conv2D(1, 2, 3, rng=0), ReLU(), MaxPool2D(2), Flatten()])
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 1, 6, 6)))
+        out = net(x)
+        assert out.shape == (2, 2 * 2 * 2)

@@ -1,0 +1,265 @@
+"""Autodiff correctness: every op's gradient vs. central finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import tensor as T
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar fn at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = fn(x)
+        flat[index] = original - eps
+        minus = fn(x)
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_grad(build, x0: np.ndarray, atol: float = 1e-6):
+    """Compare autodiff gradient of scalar build(Tensor) to FD."""
+    x = T.Tensor(x0.copy(), requires_grad=True)
+    out = build(x)
+    out.backward()
+    auto = x.grad.copy()
+
+    def value(arr):
+        return build(T.Tensor(arr)).data.item()
+
+    numeric = numeric_grad(value, x0.copy())
+    np.testing.assert_allclose(auto, numeric, atol=atol, rtol=1e-4)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestElementwise:
+    def test_add(self):
+        check_grad(lambda x: (x + 2.0).sum(), RNG.normal(size=(3, 4)))
+
+    def test_sub_rsub(self):
+        check_grad(lambda x: (5.0 - x).sum(), RNG.normal(size=(3,)))
+
+    def test_mul(self):
+        check_grad(lambda x: (x * x).sum(), RNG.normal(size=(4,)))
+
+    def test_div(self):
+        check_grad(lambda x: (x / 3.0).sum(), RNG.normal(size=(4,)))
+        check_grad(lambda x: (2.0 / x).sum(), RNG.uniform(1.0, 2.0, size=(4,)))
+
+    def test_power(self):
+        check_grad(lambda x: (x ** 3).sum(), RNG.uniform(0.5, 2.0, size=(4,)))
+
+    def test_exp_log(self):
+        check_grad(lambda x: T.exp(x).sum(), RNG.normal(size=(5,)))
+        check_grad(lambda x: T.log(x).sum(), RNG.uniform(0.5, 3.0, size=(5,)))
+
+    def test_sigmoid(self):
+        check_grad(lambda x: T.sigmoid(x).sum(), RNG.normal(size=(6,)) * 3)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = T.sigmoid(T.Tensor(np.asarray([-800.0, 800.0])))
+        assert np.all(np.isfinite(out.data))
+        assert out.data[0] == pytest.approx(0.0)
+        assert out.data[1] == pytest.approx(1.0)
+
+    def test_tanh(self):
+        check_grad(lambda x: T.tanh(x).sum(), RNG.normal(size=(5,)))
+
+    def test_relu(self):
+        x0 = RNG.normal(size=(8,))
+        x0[np.abs(x0) < 0.1] = 0.5  # keep away from the kink
+        check_grad(lambda x: T.relu(x).sum(), x0)
+
+    def test_neg(self):
+        check_grad(lambda x: (-x).sum(), RNG.normal(size=(3,)))
+
+
+class TestBroadcasting:
+    def test_broadcast_add_bias(self):
+        bias0 = RNG.normal(size=(4,))
+        matrix = T.Tensor(RNG.normal(size=(3, 4)))
+
+        def build(b):
+            return (matrix + b).sum()
+
+        check_grad(build, bias0)
+
+    def test_broadcast_scalar(self):
+        check_grad(lambda x: (x * 2.0 + 1.0).sum(), RNG.normal(size=(2, 3)))
+
+    def test_broadcast_row(self):
+        row0 = RNG.normal(size=(1, 4))
+        other = T.Tensor(RNG.normal(size=(5, 4)))
+        check_grad(lambda r: (other * r).sum(), row0)
+
+
+class TestLinAlg:
+    def test_matmul_left(self):
+        B = T.Tensor(RNG.normal(size=(4, 2)))
+        check_grad(lambda A: (A @ B).sum(), RNG.normal(size=(3, 4)))
+
+    def test_matmul_right(self):
+        A = T.Tensor(RNG.normal(size=(3, 4)))
+        check_grad(lambda B: T.matmul(A, B).sum(), RNG.normal(size=(4, 2)))
+
+    def test_transpose(self):
+        check_grad(lambda x: (x.T @ x).sum(), RNG.normal(size=(3, 2)))
+
+    def test_reshape(self):
+        check_grad(lambda x: T.reshape(x, (6,)).sum(), RNG.normal(size=(2, 3)))
+
+    def test_sum_axis(self):
+        check_grad(lambda x: (T.sum_(x, axis=0) ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self):
+        check_grad(
+            lambda x: (x / T.sum_(x, axis=1, keepdims=True)).sum(),
+            RNG.uniform(1.0, 2.0, size=(3, 4)),
+        )
+
+    def test_mean(self):
+        check_grad(lambda x: T.mean(x) * 3.0, RNG.normal(size=(4, 2)))
+
+    def test_take_rows(self):
+        indices = np.asarray([0, 2, 2, 1])
+        check_grad(lambda x: (T.take_rows(x, indices) ** 2).sum(), RNG.normal(size=(3, 2)))
+
+    def test_pick(self):
+        cols = np.asarray([0, 2, 1])
+        check_grad(lambda x: T.pick(x, cols).sum(), RNG.normal(size=(3, 3)))
+
+    def test_concat_rows(self):
+        other = T.Tensor(RNG.normal(size=(2, 3)))
+
+        def build(x):
+            return (T.concat_rows([x, other]) ** 2).sum()
+
+        check_grad(build, RNG.normal(size=(3, 3)))
+
+
+class TestSoftmax:
+    def test_log_softmax_grad(self):
+        check_grad(lambda x: T.log_softmax(x).sum(), RNG.normal(size=(4, 3)))
+
+    def test_log_softmax_rows_normalize(self):
+        x = T.Tensor(RNG.normal(size=(5, 4)) * 10)
+        probs = np.exp(T.log_softmax(x).data)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-12)
+
+    def test_log_softmax_stable_large_logits(self):
+        x = T.Tensor(np.asarray([[1000.0, 1001.0, 999.0]]))
+        out = T.log_softmax(x)
+        assert np.all(np.isfinite(out.data))
+
+    def test_softmax_picked_loss(self):
+        labels = np.asarray([0, 2, 1])
+
+        def build(x):
+            return -T.pick(T.log_softmax(x), labels).sum()
+
+        check_grad(build, RNG.normal(size=(3, 3)))
+
+
+class TestConvPool:
+    def test_conv2d_weight_grad(self):
+        x = T.Tensor(RNG.normal(size=(2, 1, 6, 6)))
+
+        def build(w):
+            return (T.conv2d(x, w) ** 2).sum()
+
+        check_grad(build, RNG.normal(size=(2, 1, 3, 3)), atol=1e-5)
+
+    def test_conv2d_input_grad(self):
+        w = T.Tensor(RNG.normal(size=(2, 1, 3, 3)))
+
+        def build(x):
+            return (T.conv2d(x, w) ** 2).sum()
+
+        check_grad(build, RNG.normal(size=(1, 1, 5, 5)), atol=1e-5)
+
+    def test_conv2d_bias_grad(self):
+        x = T.Tensor(RNG.normal(size=(2, 1, 4, 4)))
+        w = T.Tensor(RNG.normal(size=(3, 1, 3, 3)))
+
+        def build(b):
+            return T.conv2d(x, w, b).sum()
+
+        check_grad(build, RNG.normal(size=(3,)))
+
+    def test_conv2d_matches_manual(self):
+        x = np.zeros((1, 1, 3, 3))
+        x[0, 0, 1, 1] = 1.0
+        w = np.arange(9.0).reshape(1, 1, 3, 3)
+        out = T.conv2d(T.Tensor(x), T.Tensor(w))
+        assert out.data.shape == (1, 1, 1, 1)
+        assert out.data[0, 0, 0, 0] == 4.0  # center weight
+
+    def test_maxpool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = T.maxpool2d(T.Tensor(x), 2)
+        np.testing.assert_array_equal(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_grad(self):
+        x0 = RNG.normal(size=(1, 2, 4, 4))
+        # Perturb ties away.
+        x0 += np.arange(x0.size).reshape(x0.shape) * 1e-3
+        check_grad(lambda x: (T.maxpool2d(x, 2) ** 2).sum(), x0, atol=1e-5)
+
+    def test_maxpool_indivisible_raises(self):
+        with pytest.raises(ValueError, match="divisible"):
+            T.maxpool2d(T.Tensor(np.zeros((1, 1, 5, 5))), 2)
+
+
+class TestBackwardMechanics:
+    def test_grad_accumulates_over_shared_nodes(self):
+        x = T.Tensor(np.asarray([2.0]), requires_grad=True)
+        y = x * x + x * 3.0  # dy/dx = 2x + 3 = 7
+        y.backward(np.ones(1))
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_backward_requires_scalar_without_grad(self):
+        x = T.Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError, match="scalar"):
+            (x * 2).backward()
+
+    def test_no_grad_propagation_when_not_required(self):
+        x = T.Tensor(np.ones(3))
+        out = (x * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        x = T.Tensor(np.ones(3), requires_grad=True)
+        (x.sum()).backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph(self):
+        x = T.Tensor(np.asarray([1.5]), requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        out = (a * b).sum()  # 6x^2 → d/dx = 12x = 18
+        out.backward()
+        assert x.grad[0] == pytest.approx(18.0)
+
+
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_matmul_chain_gradient_property(rows, inner, seed):
+    rng = np.random.default_rng(seed)
+    A0 = rng.normal(size=(rows, inner))
+    B = T.Tensor(rng.normal(size=(inner, 2)))
+
+    def build(A):
+        return (T.matmul(A, B) ** 2).sum()
+
+    check_grad(build, A0, atol=1e-5)

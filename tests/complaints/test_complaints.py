@@ -1,0 +1,132 @@
+"""Complaint model: validation, satisfaction checks, case bundling."""
+
+import numpy as np
+import pytest
+
+from repro.complaints import (
+    ComplaintCase,
+    PredictionComplaint,
+    TupleComplaint,
+    ValueComplaint,
+    all_satisfied,
+)
+from repro.errors import ComplaintError
+from repro.relational import Executor, plan_sql
+
+
+@pytest.fixture()
+def count_result(simple_db):
+    plan = plan_sql("SELECT COUNT(*) FROM R WHERE predict(*) = 1", simple_db)
+    return Executor(simple_db).execute(plan, debug=True)
+
+
+@pytest.fixture()
+def group_result(simple_db):
+    plan = plan_sql("SELECT COUNT(*) FROM R GROUP BY predict(*)", simple_db)
+    return Executor(simple_db).execute(plan, debug=True)
+
+
+class TestValueComplaint:
+    def test_requires_exactly_one_target(self):
+        with pytest.raises(ComplaintError, match="exactly one"):
+            ValueComplaint(column="count", op="=", value=1)
+        with pytest.raises(ComplaintError, match="exactly one"):
+            ValueComplaint(column="count", op="=", value=1, row_index=0, group_key=(1,))
+
+    def test_bad_op(self):
+        with pytest.raises(ComplaintError, match="op"):
+            ValueComplaint(column="count", op="<", value=1, row_index=0)
+
+    def test_current_value(self, count_result):
+        complaint = ValueComplaint(column="count", op="=", value=0, row_index=0)
+        assert complaint.current_value(count_result) == count_result.scalar("count")
+
+    def test_equality_satisfaction(self, count_result):
+        current = count_result.scalar("count")
+        assert ValueComplaint(
+            column="count", op="=", value=current, row_index=0
+        ).is_satisfied(count_result)
+        assert not ValueComplaint(
+            column="count", op="=", value=current + 1, row_index=0
+        ).is_satisfied(count_result)
+
+    def test_inequality_satisfaction(self, count_result):
+        current = count_result.scalar("count")
+        assert ValueComplaint(
+            column="count", op="<=", value=current + 1, row_index=0
+        ).is_satisfied(count_result)
+        assert not ValueComplaint(
+            column="count", op=">=", value=current + 1, row_index=0
+        ).is_satisfied(count_result)
+
+    def test_group_key_targeting(self, group_result):
+        complaint = ValueComplaint(column="count", op=">=", value=0, group_key=(1,))
+        assert complaint.is_satisfied(group_result)
+
+    def test_group_key_reaches_empty_groups(self, group_result):
+        # Both classes have candidate groups even if one is empty right now.
+        for label in (0, 1):
+            poly = ValueComplaint(
+                column="count", op="=", value=0, group_key=(label,)
+            ).polynomial(group_result)
+            assert poly is not None
+
+
+class TestTupleComplaint:
+    def test_requires_exactly_one_target(self):
+        with pytest.raises(ComplaintError):
+            TupleComplaint()
+        with pytest.raises(ComplaintError):
+            TupleComplaint(row_index=0, group_key=(1,))
+
+    def test_unsatisfied_for_existing_tuple(self, simple_db):
+        plan = plan_sql("SELECT * FROM R WHERE predict(*) = 1", simple_db)
+        result = Executor(simple_db).execute(plan, debug=True)
+        if len(result.relation) == 0:
+            pytest.skip("no rows predicted 1")
+        assert not TupleComplaint(row_index=0).is_satisfied(result)
+
+    def test_group_tuple_complaint(self, group_result):
+        existing_key = (int(group_result.relation.column("predict(*)")[0]),)
+        complaint = TupleComplaint(group_key=existing_key)
+        assert not complaint.is_satisfied(group_result)
+
+    def test_missing_group_key_raises(self, group_result):
+        with pytest.raises(ComplaintError, match="no group"):
+            TupleComplaint(group_key=("nope",)).condition(group_result)
+
+
+class TestPredictionComplaint:
+    def test_site_resolution(self, count_result):
+        site = count_result.runtime.sites[0]
+        complaint = PredictionComplaint("R", site.row_id, 1)
+        assert complaint.site_id(count_result) == site.site_id
+
+    def test_missing_site_raises(self, count_result):
+        with pytest.raises(ComplaintError, match="no inference site"):
+            PredictionComplaint("ghost", 0, 1).site_id(count_result)
+
+    def test_satisfaction_tracks_prediction(self, count_result):
+        site = count_result.runtime.sites[0]
+        current = count_result.runtime.prediction_for_site(site.key)
+        assert PredictionComplaint("R", site.row_id, current).is_satisfied(count_result)
+        assert not PredictionComplaint("R", site.row_id, 1 - int(current)).is_satisfied(
+            count_result
+        )
+
+
+class TestComplaintCase:
+    def test_empty_complaints_raise(self):
+        with pytest.raises(ComplaintError, match="at least one"):
+            ComplaintCase("SELECT 1", [])
+
+    def test_all_satisfied(self, count_result):
+        current = count_result.scalar("count")
+        good = ComplaintCase(
+            "q", [ValueComplaint(column="count", op="=", value=current, row_index=0)]
+        )
+        bad = ComplaintCase(
+            "q", [ValueComplaint(column="count", op="=", value=current + 1, row_index=0)]
+        )
+        assert all_satisfied([(good, count_result)])
+        assert not all_satisfied([(good, count_result), (bad, count_result)])

@@ -1,0 +1,88 @@
+"""Metrics: recall curves, AUCCR, precision/recall at k."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    auccr,
+    auccr_normalized,
+    precision_at_k,
+    recall_at_k,
+    recall_curve,
+)
+
+
+class TestRecallCurve:
+    def test_perfect_ranking(self):
+        curve = recall_curve([3, 1, 4], [1, 3, 4])
+        np.testing.assert_allclose(curve, [1 / 3, 2 / 3, 1.0])
+
+    def test_worst_ranking(self):
+        curve = recall_curve([10, 11, 12], [1, 2, 3])
+        np.testing.assert_allclose(curve, [0, 0, 0])
+
+    def test_interleaved(self):
+        curve = recall_curve([9, 1, 8, 2], [1, 2], k_max=4)
+        np.testing.assert_allclose(curve, [0, 0.5, 0.5, 1.0])
+
+    def test_short_removal_sequence_flattens(self):
+        curve = recall_curve([1], [1, 2, 3])
+        np.testing.assert_allclose(curve, [1 / 3, 1 / 3, 1 / 3])
+
+    def test_monotone_nondecreasing(self):
+        curve = recall_curve([5, 2, 9, 1, 7], [1, 2, 5], k_max=5)
+        assert np.all(np.diff(curve) >= 0)
+
+    def test_empty_corruptions_raise(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            recall_curve([1, 2], [])
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            recall_curve([1], [1], k_max=0)
+
+
+class TestAUCCR:
+    def test_paper_formula(self):
+        recalls = np.asarray([0.5, 1.0])
+        assert auccr(recalls) == pytest.approx(2 * 0.75)
+
+    def test_normalized_perfect_is_one(self):
+        for k in (1, 3, 10, 57):
+            perfect = np.arange(1, k + 1) / k
+            assert auccr_normalized(perfect) == pytest.approx(1.0)
+
+    def test_normalized_zero(self):
+        assert auccr_normalized(np.zeros(5)) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            auccr(np.asarray([]))
+
+    @given(st.integers(2, 30), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_normalized_bounded(self, k, seed):
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(100).tolist()
+        corrupted = rng.choice(100, size=k, replace=False).tolist()
+        curve = recall_curve(order, corrupted)
+        value = auccr_normalized(curve)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+
+class TestAtK:
+    def test_precision_at_k(self):
+        assert precision_at_k([1, 2, 9], [1, 2, 3], 2) == 1.0
+        assert precision_at_k([1, 9, 2], [1, 2, 3], 2) == 0.5
+
+    def test_recall_at_k(self):
+        assert recall_at_k([1, 9, 2], [1, 2], 3) == 1.0
+        assert recall_at_k([9, 8], [1, 2], 2) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k([1], [1], 0)
+        with pytest.raises(ValueError):
+            recall_at_k([1], [], 1)

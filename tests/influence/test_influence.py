@@ -1,0 +1,204 @@
+"""Influence machinery: CG, Eq. (4) scores vs. retraining, LiSSA, baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConvergenceError, ModelError
+from repro.influence import (
+    InfluenceAnalyzer,
+    conjugate_gradient,
+    lissa_inverse_hvp,
+    q_grad_for_target_predictions,
+)
+from repro.ml import LogisticRegression
+
+
+class TestConjugateGradient:
+    def make_spd(self, dim, seed=0):
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(dim, dim))
+        return A @ A.T + dim * np.eye(dim)
+
+    def test_solves_spd_system(self):
+        A = self.make_spd(8)
+        b = np.random.default_rng(1).normal(size=8)
+        result = conjugate_gradient(lambda v: A @ v, b, tol=1e-12)
+        np.testing.assert_allclose(result.x, np.linalg.solve(A, b), atol=1e-8)
+        assert result.converged
+
+    def test_damping_shifts_diagonal(self):
+        A = self.make_spd(6)
+        b = np.random.default_rng(2).normal(size=6)
+        damping = 0.7
+        result = conjugate_gradient(lambda v: A @ v, b, damping=damping, tol=1e-12)
+        expected = np.linalg.solve(A + damping * np.eye(6), b)
+        np.testing.assert_allclose(result.x, expected, atol=1e-8)
+
+    def test_zero_rhs(self):
+        A = self.make_spd(4)
+        result = conjugate_gradient(lambda v: A @ v, np.zeros(4))
+        assert np.all(result.x == 0)
+        assert result.converged
+
+    def test_identity_one_iteration(self):
+        b = np.random.default_rng(3).normal(size=5)
+        result = conjugate_gradient(lambda v: v, b, tol=1e-12)
+        np.testing.assert_allclose(result.x, b, atol=1e-10)
+        assert result.iterations <= 2
+
+    def test_max_iter_failure_raises_when_requested(self):
+        A = self.make_spd(30, seed=9)
+        b = np.random.default_rng(4).normal(size=30)
+        with pytest.raises(ConvergenceError):
+            conjugate_gradient(
+                lambda v: A @ v, b, max_iter=1, tol=1e-14, raise_on_failure=True
+            )
+
+    def test_warm_start(self):
+        A = self.make_spd(8)
+        b = np.random.default_rng(5).normal(size=8)
+        exact = np.linalg.solve(A, b)
+        result = conjugate_gradient(lambda v: A @ v, b, x0=exact, tol=1e-10)
+        assert result.iterations <= 1
+
+    @given(st.integers(2, 10), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_numpy_solve_property(self, dim, seed):
+        A = self.make_spd(dim, seed=seed)
+        b = np.random.default_rng(seed + 1).normal(size=dim)
+        result = conjugate_gradient(lambda v: A @ v, b, tol=1e-12)
+        np.testing.assert_allclose(result.x, np.linalg.solve(A, b), atol=1e-6)
+
+
+class TestLiSSA:
+    def test_matches_cg_on_spd(self):
+        rng = np.random.default_rng(0)
+        A = np.diag(rng.uniform(0.5, 2.0, size=6))
+        b = rng.normal(size=6)
+        lissa = lissa_inverse_hvp(lambda v: A @ v, b, scale=4.0, iterations=2000)
+        np.testing.assert_allclose(lissa, np.linalg.solve(A, b), atol=1e-4)
+
+    def test_diverges_with_small_scale(self):
+        A = 100.0 * np.eye(4)
+        b = np.ones(4)
+        with pytest.raises(ConvergenceError, match="diverged"):
+            lissa_inverse_hvp(lambda v: A @ v, b, scale=1.0, iterations=500)
+
+    def test_zero_rhs(self):
+        out = lissa_inverse_hvp(lambda v: v, np.zeros(3))
+        assert np.all(out == 0)
+
+
+@pytest.fixture()
+def analyzer_setup():
+    rng = np.random.default_rng(17)
+    n, d = 70, 4
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    y = (X @ w + 0.3 * rng.normal(size=n) > 0).astype(int)
+    model = LogisticRegression((0, 1), n_features=d, l2=1e-2)
+    model.fit(X, y, warm_start=False)
+    X_test = rng.normal(size=(8, d))
+    return model, X, y, X_test
+
+
+class TestInfluenceScores:
+    def test_requires_fitted_model(self):
+        model = LogisticRegression((0, 1), n_features=2)
+        with pytest.raises(ModelError, match="fitted"):
+            InfluenceAnalyzer(model, np.zeros((3, 2)), np.zeros(3))
+
+    def test_q_grad_shape_validated(self, analyzer_setup):
+        model, X, y, _ = analyzer_setup
+        analyzer = InfluenceAnalyzer(model, X, y)
+        with pytest.raises(ModelError, match="shape"):
+            analyzer.scores_from_q_grad(np.zeros(3))
+
+    def test_scores_predict_retraining_effect(self, analyzer_setup):
+        """Eq. (4): removal effect ≈ actual leave-one-out retrain effect."""
+        model, X, y, X_test = analyzer_setup
+        q_grad = q_grad_for_target_predictions(
+            model, X_test, np.ones(len(X_test), dtype=int)
+        )
+        analyzer = InfluenceAnalyzer(model, X, y)
+        scores = analyzer.scores_from_q_grad(q_grad)
+
+        def q_of(m):
+            return -float(m.predict_proba(X_test)[:, 1].sum())
+
+        base = q_of(model)
+        theta = model.get_params()
+        actual, predicted = [], []
+        for index in (0, 13, 29, 44, 66):
+            clone = LogisticRegression((0, 1), n_features=X.shape[1], l2=1e-2)
+            mask = np.ones(len(X), dtype=bool)
+            mask[index] = False
+            clone.fit(X[mask], y[mask], warm_start=False)
+            actual.append(q_of(clone) - base)
+            predicted.append(-scores[index] / len(X))
+        model.set_params(theta)
+        correlation = np.corrcoef(actual, predicted)[0, 1]
+        assert correlation > 0.99
+
+    def test_removal_effect_on_q(self, analyzer_setup):
+        model, X, y, X_test = analyzer_setup
+        q_grad = q_grad_for_target_predictions(
+            model, X_test, np.ones(len(X_test), dtype=int)
+        )
+        analyzer = InfluenceAnalyzer(model, X, y)
+        scores = analyzer.scores_from_q_grad(q_grad)
+        top = int(np.argmax(scores))
+        # Removing the top-scored record must be estimated to decrease q.
+        assert analyzer.removal_effect_on_q(q_grad, [top]) < 0
+
+    def test_self_influence_nonpositive_for_convex(self, analyzer_setup):
+        model, X, y, _ = analyzer_setup
+        analyzer = InfluenceAnalyzer(model, X, y)
+        scores = analyzer.self_influence()
+        assert np.all(scores <= 1e-9)
+
+    def test_self_influence_max_records(self, analyzer_setup):
+        model, X, y, _ = analyzer_setup
+        analyzer = InfluenceAnalyzer(model, X, y)
+        scores = analyzer.self_influence(max_records=5)
+        assert np.all(scores[5:] == 0)
+        assert np.any(scores[:5] != 0)
+
+    def test_training_losses_match_model(self, analyzer_setup):
+        model, X, y, _ = analyzer_setup
+        analyzer = InfluenceAnalyzer(model, X, y)
+        np.testing.assert_allclose(
+            analyzer.training_losses(), model.per_sample_losses(X, y)
+        )
+
+    def test_q_grad_for_targets_direction(self, analyzer_setup):
+        """Pushing toward target labels: -∇q must increase target probs."""
+        model, X, y, X_test = analyzer_setup
+        targets = np.ones(len(X_test), dtype=int)
+        q_grad = q_grad_for_target_predictions(model, X_test, targets)
+        theta = model.get_params()
+        step = 1e-4 / (np.linalg.norm(q_grad) + 1e-12)
+        before = model.predict_proba(X_test)[:, 1].sum()
+        model.set_params(theta - step * q_grad)
+        after = model.predict_proba(X_test)[:, 1].sum()
+        model.set_params(theta)
+        assert after > before
+
+    def test_lissa_and_cg_rankings_agree(self, analyzer_setup):
+        model, X, y, X_test = analyzer_setup
+        q_grad = q_grad_for_target_predictions(
+            model, X_test, np.ones(len(X_test), dtype=int)
+        )
+        analyzer = InfluenceAnalyzer(model, X, y)
+        cg_scores = analyzer.scores_from_q_grad(q_grad)
+        # LiSSA route: replace the CG solve manually.
+        u = lissa_inverse_hvp(
+            lambda v: model.hvp(X, y, v), q_grad, scale=30.0, iterations=3000
+        )
+        lissa_scores = -model.grad_dot(X, y, u)
+        # Same top-5 set.
+        top_cg = set(np.argsort(-cg_scores)[:5].tolist())
+        top_lissa = set(np.argsort(-lissa_scores)[:5].tolist())
+        assert len(top_cg & top_lissa) >= 4

@@ -1,0 +1,37 @@
+"""The appendix theorems, asserted as tests (A.1 ambiguity, C.1 complaints)."""
+
+import numpy as np
+
+from repro.experiments import thm_a1, thm_c1
+
+
+class TestTheoremA1:
+    def test_nonzero_probability_decreases_with_n(self):
+        result = thm_a1.run(n_values=(12, 48), trials=120, seed=0)
+        assert len(result.rows) == 2
+        small = result.rows[0]["empirical_p_nonzero"]
+        large = result.rows[1]["empirical_p_nonzero"]
+        assert large < small
+
+    def test_empirical_tracks_theory(self):
+        result = thm_a1.run(n_values=(24,), trials=400, seed=1)
+        row = result.rows[0]
+        assert abs(row["empirical_p_nonzero"] - row["theory_p_nonzero"]) < 0.12
+
+
+class TestTheoremC1:
+    def test_corrupted_loss_shrinks_with_k(self):
+        result = thm_c1.run(k_values=(4, 64), seed=0)
+        losses = [row["max_corrupt_loss"] for row in result.rows]
+        assert losses[1] < losses[0]
+
+    def test_self_influence_shrinks_with_k(self):
+        result = thm_c1.run(k_values=(4, 64), seed=0)
+        values = [row["max_abs_corrupt_selfinf"] for row in result.rows]
+        assert values[1] < values[0]
+
+    def test_complaint_ranks_all_corruptions_top(self):
+        result = thm_c1.run(k_values=(16, 64), seed=0)
+        for row in result.rows:
+            assert row["complaint_recall@K"] == 1.0
+            assert row["min_corrupt_complaint_score"] > 0

@@ -1,0 +1,148 @@
+"""Neural classifier tests: training, FD HVPs, prob VJPs, adapters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml import (
+    NeuralClassifier,
+    flatten_input_adapter,
+    image_input_adapter,
+    make_cnn,
+    make_mlp,
+)
+
+
+@pytest.fixture()
+def mlp_problem():
+    rng = np.random.default_rng(21)
+    n, d = 50, 6
+    X = rng.normal(size=(n, d))
+    w = rng.normal(size=d)
+    y = (X @ w > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture()
+def fitted_mlp(mlp_problem):
+    X, y = mlp_problem
+    model = NeuralClassifier((0, 1), make_mlp(6, [8], 2, rng=0), l2=1e-3)
+    model.fit(X, y, warm_start=False, max_iter=150)
+    return model
+
+
+class TestMLP:
+    def test_fit_improves_accuracy(self, mlp_problem, fitted_mlp):
+        X, y = mlp_problem
+        assert fitted_mlp.accuracy(X, y) > 0.9
+
+    def test_proba_normalized(self, mlp_problem, fitted_mlp):
+        X, _ = mlp_problem
+        proba = fitted_mlp.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_autodiff_grad_matches_fd(self, mlp_problem, fitted_mlp):
+        X, y = mlp_problem
+        model = fitted_mlp
+        theta = model.get_params()
+        y_idx = model.labels_to_indices(y)
+        _, grad = model._data_loss_and_grad(theta, X, y_idx)
+        rng = np.random.default_rng(0)
+        # Spot-check 10 random coordinates (full FD too slow).
+        eps = 1e-6
+        for index in rng.choice(theta.size, size=10, replace=False):
+            plus = theta.copy(); plus[index] += eps
+            minus = theta.copy(); minus[index] -= eps
+            lp = model._per_sample_losses(plus, X, y_idx).mean()
+            lm = model._per_sample_losses(minus, X, y_idx).mean()
+            assert grad[index] == pytest.approx((lp - lm) / (2 * eps), abs=1e-4)
+
+    def test_per_sample_grads_sum_to_total(self, mlp_problem, fitted_mlp):
+        X, y = mlp_problem
+        model = fitted_mlp
+        theta = model.get_params()
+        y_idx = model.labels_to_indices(y)
+        _, total = model._data_loss_and_grad(theta, X[:8], y_idx[:8])
+        per_sample = model._per_sample_grads(theta, X[:8], y_idx[:8])
+        np.testing.assert_allclose(per_sample.mean(axis=0), total, atol=1e-8)
+
+    def test_grad_dot_matches_per_sample_grads(self, mlp_problem, fitted_mlp):
+        X, y = mlp_problem
+        model = fitted_mlp
+        v = np.random.default_rng(1).normal(size=model.n_params)
+        exact = model.per_sample_grads(X[:10], y[:10]) @ v
+        fd = model.grad_dot(X[:10], y[:10], v)
+        np.testing.assert_allclose(fd, exact, atol=1e-4, rtol=1e-3)
+
+    def test_hvp_symmetric(self, mlp_problem, fitted_mlp):
+        X, y = mlp_problem
+        model = fitted_mlp
+        rng = np.random.default_rng(2)
+        u = rng.normal(size=model.n_params)
+        v = rng.normal(size=model.n_params)
+        # uᵀHv == vᵀHu within FD noise.
+        uhv = u @ model.hvp(X, y, v)
+        vhu = v @ model.hvp(X, y, u)
+        assert uhv == pytest.approx(vhu, rel=1e-3, abs=1e-5)
+
+    def test_hvp_zero_vector(self, mlp_problem, fitted_mlp):
+        X, y = mlp_problem
+        out = fitted_mlp.hvp(X, y, np.zeros(fitted_mlp.n_params))
+        assert np.all(out == 0)
+
+    def test_prob_vjp_matches_fd(self, mlp_problem, fitted_mlp):
+        X, _ = mlp_problem
+        model = fitted_mlp
+        theta = model.get_params()
+        weights = np.random.default_rng(3).normal(size=(10, 2))
+
+        def weighted(t):
+            return float((model._proba(t, X[:10]) * weights).sum())
+
+        vjp = model.prob_vjp(X[:10], weights)
+        eps = 1e-6
+        rng = np.random.default_rng(4)
+        for index in rng.choice(theta.size, size=8, replace=False):
+            plus = theta.copy(); plus[index] += eps
+            minus = theta.copy(); minus[index] -= eps
+            fd = (weighted(plus) - weighted(minus)) / (2 * eps)
+            assert vjp[index] == pytest.approx(fd, abs=1e-4)
+
+    def test_wrong_logit_width_raises(self, mlp_problem):
+        X, y = mlp_problem
+        model = NeuralClassifier((0, 1, 2), make_mlp(6, [4], 2, rng=0))
+        with pytest.raises(ModelError, match="logits"):
+            model.fit(X, np.zeros(len(y)), warm_start=False, max_iter=2)
+
+
+class TestCNNModel:
+    def test_cnn_fits_tiny_digits(self):
+        from repro.data import make_mnist
+
+        ds = make_mnist(n_train=60, n_query=30, digits=(0, 1), seed=0)
+        model = NeuralClassifier(
+            tuple(range(10)),
+            make_cnn(image_size=28, n_classes=10, channels=2, rng=0),
+            input_adapter=image_input_adapter,
+            l2=1e-3,
+        )
+        model.fit(ds.images_train, ds.y_train, warm_start=False, max_iter=40)
+        assert model.accuracy(ds.images_query, ds.y_query) > 0.8
+
+
+class TestAdapters:
+    def test_image_adapter_3d(self):
+        out = image_input_adapter(np.zeros((4, 28, 28)))
+        assert out.shape == (4, 1, 28, 28)
+
+    def test_image_adapter_4d_passthrough(self):
+        out = image_input_adapter(np.zeros((4, 1, 28, 28)))
+        assert out.shape == (4, 1, 28, 28)
+
+    def test_image_adapter_bad_ndim(self):
+        with pytest.raises(ModelError, match="image"):
+            image_input_adapter(np.zeros((4, 784)))
+
+    def test_flatten_adapter(self):
+        out = flatten_input_adapter(np.zeros((4, 28, 28)))
+        assert out.shape == (4, 784)

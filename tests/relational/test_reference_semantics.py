@@ -1,0 +1,150 @@
+"""Property test: the executor agrees with a naive reference engine.
+
+Random small SPJA queries are evaluated both by the real executor and by a
+deliberately simple row-at-a-time reference implementation.  Any semantic
+drift in filters, joins, or aggregation shows up here.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Aggregate,
+    AggSpec,
+    BoolAnd,
+    BoolOr,
+    Cmp,
+    Col,
+    Const,
+    Database,
+    Executor,
+    Filter,
+    Join,
+    Relation,
+    Scan,
+)
+
+COLUMNS = ("a", "b", "c")
+OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def make_db(seed: int, n_rows: int) -> Database:
+    rng = np.random.default_rng(seed)
+    db = Database()
+    db.add_relation(
+        Relation(
+            "R",
+            {
+                "a": rng.integers(0, 4, size=n_rows),
+                "b": rng.integers(0, 4, size=n_rows),
+                "c": rng.integers(0, 4, size=n_rows),
+            },
+        )
+    )
+    db.add_relation(
+        Relation(
+            "S",
+            {
+                "a": rng.integers(0, 4, size=n_rows),
+                "d": rng.integers(0, 4, size=n_rows),
+            },
+        )
+    )
+    return db
+
+
+@st.composite
+def predicates(draw, columns=COLUMNS, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        column = draw(st.sampled_from(columns))
+        op = draw(st.sampled_from(OPS))
+        value = draw(st.integers(0, 4))
+        return Cmp(op, Col(column), Const(value))
+    kind = draw(st.sampled_from(["and", "or"]))
+    children = [
+        draw(predicates(columns=columns, depth=depth - 1)) for _ in range(2)
+    ]
+    return BoolAnd(children) if kind == "and" else BoolOr(children)
+
+
+def reference_filter(rows, predicate):
+    def eval_pred(pred, row):
+        if isinstance(pred, Cmp):
+            left = row[pred.left.name]
+            right = pred.right.value
+            return {
+                "=": left == right, "!=": left != right,
+                "<": left < right, "<=": left <= right,
+                ">": left > right, ">=": left >= right,
+            }[pred.op]
+        if isinstance(pred, BoolAnd):
+            return all(eval_pred(child, row) for child in pred.children())
+        if isinstance(pred, BoolOr):
+            return any(eval_pred(child, row) for child in pred.children())
+        raise AssertionError(type(pred))
+
+    return [row for row in rows if eval_pred(predicate, row)]
+
+
+@given(seed=st.integers(0, 10_000), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_filter_matches_reference(seed, data):
+    db = make_db(seed, n_rows=12)
+    predicate = data.draw(predicates())
+    result = Executor(db).execute(Filter(Scan("R", "R"), predicate))
+    rows = db.relation("R").to_dicts()
+    expected = reference_filter(rows, predicate)
+    assert len(result.relation) == len(expected)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_equi_join_matches_reference(seed):
+    db = make_db(seed, n_rows=10)
+    plan = Join(Scan("R", "R"), Scan("S", "S"), Cmp("=", Col("R.a"), Col("S.a")))
+    result = Executor(db).execute(plan)
+    r_rows = db.relation("R").to_dicts()
+    s_rows = db.relation("S").to_dicts()
+    expected = sum(1 for r in r_rows for s in s_rows if r["a"] == s["a"])
+    assert len(result.relation) == expected
+
+
+@given(seed=st.integers(0, 10_000), data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_group_by_aggregates_match_reference(seed, data):
+    db = make_db(seed, n_rows=15)
+    key = data.draw(st.sampled_from(COLUMNS))
+    value = data.draw(st.sampled_from(COLUMNS))
+    plan = Aggregate(
+        Scan("R", "R"),
+        [(Col(key), key)],
+        [
+            AggSpec("count", None, "count"),
+            AggSpec("sum", Col(value), "total"),
+            AggSpec("avg", Col(value), "mean"),
+        ],
+    )
+    result = Executor(db).execute(plan)
+    rows = db.relation("R").to_dicts()
+    groups: dict[int, list[int]] = {}
+    for row in rows:
+        groups.setdefault(row[key], []).append(row[value])
+    assert len(result.relation) == len(groups)
+    for out in result.relation.to_dicts():
+        members = groups[out[key]]
+        assert out["count"] == len(members)
+        assert out["total"] == pytest.approx(sum(members))
+        assert out["mean"] == pytest.approx(np.mean(members))
+
+
+@given(seed=st.integers(0, 10_000), data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_debug_mode_agrees_with_plain_mode(seed, data):
+    db = make_db(seed, n_rows=12)
+    predicate = data.draw(predicates())
+    plan = Filter(Scan("R", "R"), predicate)
+    plain = Executor(db).execute(plan, debug=False)
+    debug = Executor(db).execute(plan, debug=True)
+    assert len(plain.relation) == len(debug.relation)

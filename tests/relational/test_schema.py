@@ -1,0 +1,134 @@
+"""Unit tests for relations and databases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Database, Relation
+
+
+def make_rel():
+    return Relation(
+        "users",
+        {
+            "id": np.arange(5),
+            "age": np.asarray([20, 30, 40, 50, 60]),
+            "features": np.arange(10.0).reshape(5, 2),
+        },
+    )
+
+
+class TestRelation:
+    def test_len_and_columns(self):
+        rel = make_rel()
+        assert len(rel) == 5
+        assert rel.column_names == ["id", "age", "features"]
+
+    def test_row_ids_default(self):
+        rel = make_rel()
+        assert np.array_equal(rel.row_ids, np.arange(5))
+
+    def test_column_lookup(self):
+        rel = make_rel()
+        assert np.array_equal(rel.column("age"), [20, 30, 40, 50, 60])
+
+    def test_missing_column_raises(self):
+        with pytest.raises(SchemaError, match="no column"):
+            make_rel().column("nope")
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(SchemaError, match="rows"):
+            Relation("r", {"a": np.arange(3), "b": np.arange(4)})
+
+    def test_empty_columns_raise(self):
+        with pytest.raises(SchemaError):
+            Relation("r", {})
+
+    def test_scalar_column_raises(self):
+        with pytest.raises(SchemaError, match="scalar"):
+            Relation("r", {"a": np.float64(3.0)})
+
+    def test_take_preserves_row_ids(self):
+        rel = make_rel()
+        sub = rel.take([3, 1])
+        assert np.array_equal(sub.row_ids, [3, 1])
+        assert np.array_equal(sub.column("age"), [50, 30])
+
+    def test_filter_mask(self):
+        rel = make_rel()
+        sub = rel.filter_mask(rel.column("age") > 35)
+        assert np.array_equal(sub.row_ids, [2, 3, 4])
+
+    def test_filter_mask_wrong_shape(self):
+        with pytest.raises(SchemaError, match="mask"):
+            make_rel().filter_mask(np.ones(3, dtype=bool))
+
+    def test_project(self):
+        sub = make_rel().project(["id"])
+        assert sub.column_names == ["id"]
+        assert len(sub) == 5
+
+    def test_with_column(self):
+        rel = make_rel().with_column("extra", np.zeros(5))
+        assert "extra" in rel.column_names
+
+    def test_feature_column_2d(self):
+        rel = make_rel()
+        assert rel.column("features").shape == (5, 2)
+        sub = rel.take([0, 4])
+        assert sub.column("features").shape == (2, 2)
+
+    def test_row_unwraps_scalars(self):
+        row = make_rel().row(1)
+        assert row["id"] == 1
+        assert isinstance(row["id"], int)
+        assert row["features"].shape == (2,)
+
+    def test_from_dicts_roundtrip(self):
+        rel = Relation.from_dicts("r", [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert len(rel) == 2
+        assert rel.to_dicts()[1] == {"a": 2, "b": "y"}
+
+    def test_from_dicts_heterogeneous_raises(self):
+        with pytest.raises(SchemaError, match="keys"):
+            Relation.from_dicts("r", [{"a": 1}, {"b": 2}])
+
+    def test_from_dicts_empty_raises(self):
+        with pytest.raises(SchemaError):
+            Relation.from_dicts("r", [])
+
+    def test_rename(self):
+        assert make_rel().rename("other").name == "other"
+
+
+class TestDatabase:
+    def test_add_and_get_relation(self):
+        db = Database()
+        db.add_relation(make_rel())
+        assert db.relation("users").name == "users"
+        assert db.has_relation("users")
+        assert db.relation_names == ["users"]
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(SchemaError, match="no relation"):
+            Database().relation("ghost")
+
+    def test_models(self):
+        db = Database()
+        sentinel = object()
+        db.add_model("m", sentinel)
+        assert db.model("m") is sentinel
+        assert db.has_model("m")
+        assert db.model_names == ["m"]
+
+    def test_missing_model_raises(self):
+        with pytest.raises(SchemaError, match="no model"):
+            Database().model("ghost")
+
+    def test_mapping_constructor_renames(self):
+        db = Database({"alias": make_rel()})
+        assert db.relation("alias").name == "alias"
+
+    def test_iterable_constructor(self):
+        db = Database([make_rel()])
+        assert db.has_relation("users")

@@ -1,0 +1,26 @@
+"""CLI runner tests."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "table3", "thm_a1"):
+            assert name in out
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_every_experiment_registered(self):
+        assert len(EXPERIMENTS) == 15
+
+    def test_run_fast_experiment(self, capsys, tmp_path):
+        assert main(["run", "thm_c1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "thm_c1_value_of_complaints" in out
+        assert (tmp_path / "thm_c1_value_of_complaints.txt").exists()
