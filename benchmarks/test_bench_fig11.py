@@ -1,10 +1,12 @@
 """Figure 11 (Appendix D): debugging the CNN vs. logistic regression."""
 
+import pytest
 from conftest import save_and_print
 
 from repro.experiments import fig11_nn
 
 
+@pytest.mark.slow
 def test_bench_fig11(benchmark, out_dir):
     result = benchmark.pedantic(fig11_nn.run, rounds=1, iterations=1)
     save_and_print(result, out_dir)

@@ -1,10 +1,12 @@
 """Figure 12 (Appendix D): per-iteration runtime, CNN vs. logistic."""
 
+import pytest
 from conftest import save_and_print
 
 from repro.experiments import fig11_nn
 
 
+@pytest.mark.slow
 def test_bench_fig12(benchmark, out_dir):
     result = benchmark.pedantic(
         fig11_nn.run,

@@ -1,10 +1,18 @@
-"""Figure 5: per-iteration Train/Encode/Rank runtime breakdown (DBLP 50%)."""
+"""Figure 5: per-iteration Train/Encode/Rank runtime breakdown (DBLP 50%).
 
+Marked ``slow``: the ``infloss-scalar`` row deliberately runs the paper's
+per-record CG loop (the reproduction's slowest path) to anchor the
+block-solve speedup; ``test_bench_block_cg.py`` asserts the same speedup on
+a smaller workload inside the default (fast) tier.
+"""
+
+import pytest
 from conftest import save_and_print
 
 from repro.experiments import fig5_runtime
 
 
+@pytest.mark.slow
 def test_bench_fig5(benchmark, out_dir):
     result = benchmark.pedantic(fig5_runtime.run, rounds=1, iterations=1)
     save_and_print(result, out_dir)
@@ -16,8 +24,11 @@ def test_bench_fig5(benchmark, out_dir):
         for row in result.rows
     }
     # Paper shape: Loss avoids influence estimation entirely (cheapest
-    # ranking); InfLoss is the slowest approach by far (one CG solve per
-    # training record).
+    # ranking); the per-record InfLoss loop is the slowest approach by far
+    # (one CG solve per training record).
     assert ranking_cost["loss"] <= min(ranking_cost.values()) + 1e-9
-    assert total["infloss"] >= max(total.values()) - 1e-9
-    assert ranking_cost["infloss"] > 3 * ranking_cost["loss"]
+    assert total["infloss-scalar"] >= max(total.values()) - 1e-9
+    assert ranking_cost["infloss-scalar"] > 3 * ranking_cost["loss"]
+    # The batched engine's headline: one block solve beats the per-record
+    # loop by well over the 3x acceptance bar while ranking the same records.
+    assert ranking_cost["infloss-scalar"] > 3 * ranking_cost["infloss"]

@@ -1,10 +1,12 @@
 """Figure 6: MNIST join experiments (point complaints + COUNT complaint)."""
 
+import pytest
 from conftest import save_and_print
 
 from repro.experiments import fig6_mnist_join
 
 
+@pytest.mark.slow
 def test_bench_fig6ab_point_complaints(benchmark, out_dir):
     result = benchmark.pedantic(
         fig6_mnist_join.run_point_complaints, rounds=1, iterations=1
@@ -19,6 +21,7 @@ def test_bench_fig6ab_point_complaints(benchmark, out_dir):
         assert holistic["auccr"] >= loss["auccr"], rate
 
 
+@pytest.mark.slow
 def test_bench_fig6cd_count_complaint(benchmark, out_dir):
     result = benchmark.pedantic(
         fig6_mnist_join.run_count_complaint, rounds=1, iterations=1

@@ -1,10 +1,12 @@
 """Section 6.3 mix-rate text experiment: overlapping join sides."""
 
+import pytest
 from conftest import save_and_print
 
 from repro.experiments import fig6_mnist_join
 
 
+@pytest.mark.slow
 def test_bench_mix_rate(benchmark, out_dir):
     result = benchmark.pedantic(fig6_mnist_join.run_mix_rate, rounds=1, iterations=1)
     save_and_print(result, out_dir)

@@ -17,6 +17,22 @@ from . import tensor as T
 from .tensor import Tensor
 
 
+class PerSampleCapture:
+    """One parameterized layer's forward context for per-sample gradients.
+
+    ``layer`` saw input ``x_data`` during the captured forward pass; after a
+    backward pass whose upstream gradient stacks one per-sample loss gradient
+    per row, ``sink["grad"]`` holds the per-sample deltas at the layer output.
+    """
+
+    __slots__ = ("layer", "x_data", "sink")
+
+    def __init__(self, layer: "Module", x_data: np.ndarray, sink: dict) -> None:
+        self.layer = layer
+        self.x_data = x_data
+        self.sink = sink
+
+
 class Module:
     """Base class: a callable graph fragment with named parameters."""
 
@@ -24,6 +40,31 @@ class Module:
         return []
 
     def __call__(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    # -- per-sample gradient support -------------------------------------------
+
+    def forward_captured(self, x: Tensor, captures: list[PerSampleCapture]) -> Tensor:
+        """Forward pass that records per-sample-gradient captures.
+
+        Layers that know how to reconstruct per-sample parameter gradients
+        (Dense, Conv2D) append a :class:`PerSampleCapture` and tap their
+        output gradient; everything else falls through to the plain forward.
+        A layer with parameters that does *not* override this is simply not
+        captured — callers detect the coverage gap and fall back to the
+        per-row loop.
+        """
+        return self(x)
+
+    def per_sample_param_grads(
+        self, x_data: np.ndarray, delta: np.ndarray
+    ) -> list[np.ndarray]:
+        """Per-sample gradients for each parameter, given the layer input
+        ``x_data`` and the per-sample output deltas ``delta``.
+
+        Returns one ``(n, *param.shape)`` array per entry of
+        :meth:`parameters`, in the same order.
+        """
         raise NotImplementedError
 
     # -- flat parameter vector -------------------------------------------------
@@ -88,6 +129,19 @@ class Dense(Module):
             out = T.add(out, self.bias)
         return out
 
+    def forward_captured(self, x: Tensor, captures: list[PerSampleCapture]) -> Tensor:
+        sink: dict = {}
+        out = T.grad_tap(self(x), sink)
+        captures.append(PerSampleCapture(self, x.data, sink))
+        return out
+
+    def per_sample_param_grads(self, x_data, delta):
+        # grad_W[i] = x_i ⊗ delta_i ; grad_b[i] = delta_i.
+        grads = [np.einsum("ni,no->nio", x_data, delta)]
+        if self.bias is not None:
+            grads.append(delta.copy())
+        return grads
+
 
 class Conv2D(Module):
     """Valid 2-d convolution, stride 1."""
@@ -112,6 +166,23 @@ class Conv2D(Module):
 
     def __call__(self, x: Tensor) -> Tensor:
         return T.conv2d(x, self.weight, self.bias)
+
+    def forward_captured(self, x: Tensor, captures: list[PerSampleCapture]) -> Tensor:
+        sink: dict = {}
+        out = T.grad_tap(self(x), sink)
+        captures.append(PerSampleCapture(self, x.data, sink))
+        return out
+
+    def per_sample_param_grads(self, x_data, delta):
+        f, c, kh, kw = self.weight.shape
+        cols, _ = T._im2col(x_data, kh, kw)  # (n, out_h, out_w, c*kh*kw)
+        delta_nhwf = delta.transpose(0, 2, 3, 1)  # (n, out_h, out_w, f)
+        grad_w = np.einsum("nhwf,nhwk->nfk", delta_nhwf, cols)
+        n = x_data.shape[0]
+        return [
+            grad_w.reshape(n, f, c, kh, kw),
+            delta_nhwf.sum(axis=(1, 2)),
+        ]
 
 
 class MaxPool2D(Module):
@@ -152,4 +223,9 @@ class Sequential(Module):
     def __call__(self, x: Tensor) -> Tensor:
         for layer in self.layers:
             x = layer(x)
+        return x
+
+    def forward_captured(self, x: Tensor, captures: list[PerSampleCapture]) -> Tensor:
+        for layer in self.layers:
+            x = layer.forward_captured(x, captures)
         return x

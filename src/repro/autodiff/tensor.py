@@ -405,6 +405,24 @@ def softmax(a: Tensor) -> Tensor:
     return exp(log_softmax(a))
 
 
+def grad_tap(a: Tensor, sink: dict) -> Tensor:
+    """Identity whose backward records the incoming gradient in ``sink``.
+
+    The recorded array lands in ``sink["grad"]`` and is also propagated to
+    ``a`` unchanged.  Because every network op is batch-parallel, tapping a
+    layer *output* during a backward pass whose upstream gradient stacks one
+    loss gradient per row yields exactly the per-sample deltas that layer
+    needs to reconstruct per-sample parameter gradients.
+    """
+
+    def backward(grad: np.ndarray) -> None:
+        sink["grad"] = np.array(grad, copy=True)
+        if a.requires_grad:
+            a._accumulate(grad)
+
+    return _make(a.data, (a,), backward)
+
+
 def concat_rows(tensors: Sequence[Tensor]) -> Tensor:
     """Concatenate along axis 0."""
     data = np.concatenate([tensor.data for tensor in tensors], axis=0)

@@ -16,6 +16,7 @@ from .rankers import (
     LossRanker,
     Ranker,
     TwoStepRanker,
+    WarmStartState,
     make_ranker,
 )
 
@@ -35,5 +36,6 @@ __all__ = [
     "LossRanker",
     "Ranker",
     "TwoStepRanker",
+    "WarmStartState",
     "make_ranker",
 ]

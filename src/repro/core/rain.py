@@ -16,6 +16,13 @@ The output is the ranked deletion sequence ``D`` plus per-iteration
 diagnostics and a Train/Execute/Encode/Rank timing breakdown (Figures 5
 and 12 of the paper).
 
+Because θ* barely moves after a top-k deletion, the driver carries CG
+state between iterations (``warm_start_cg=True``, the default): rankers
+seed each solve with the previous iteration's solution via
+:class:`~repro.core.rankers.WarmStartState`, and per-sample gradients are
+cached across iterations, invalidated wholesale when refitting moves θ*
+and by row-slicing when only records were deleted.
+
 The ``method="auto"`` heuristic matches Section 5.1: probe the TwoStep ILP
 for the number of optimal solutions; if the fix is unique, use TwoStep,
 otherwise use Holistic.
@@ -31,13 +38,13 @@ from ..complaints.complaint import ComplaintCase, all_satisfied
 from ..errors import DebuggingError, ILPError
 from ..ilp.encode import TiresiasEncoder
 from ..ilp.solver import enumerate_optima
-from ..influence.functions import InfluenceAnalyzer
+from ..influence.functions import InfluenceAnalyzer, PerSampleGradCache
 from ..relational.algebra import Plan
 from ..relational.executor import Executor, QueryResult
 from ..relational.schema import Database
 from ..relational.sql import plan_sql
 from ..utils import Stopwatch, argsort_desc, as_rng
-from .rankers import IterationContext, Ranker, make_ranker
+from .rankers import IterationContext, Ranker, WarmStartState, make_ranker
 
 
 @dataclass
@@ -96,6 +103,7 @@ class RainDebugger:
         stop_when_satisfied: bool = False,
         cg_max_iter: int | None = None,
         cg_tol: float = 1e-8,
+        warm_start_cg: bool = True,
     ) -> None:
         if not cases and method in ("auto", "twostep", "holistic"):
             raise DebuggingError(
@@ -121,6 +129,10 @@ class RainDebugger:
         self.stop_when_satisfied = bool(stop_when_satisfied)
         self.cg_max_iter = cg_max_iter
         self.cg_tol = float(cg_tol)
+        self.warm_start_cg = bool(warm_start_cg)
+        # Per-sample gradients survive across iterations while θ* is
+        # unchanged; top-k deletions only slice rows out of the cached matrix.
+        self._grad_cache = PerSampleGradCache()
 
         self.executor = Executor(database)
         self._plans: list[Plan] = [self._resolve_plan(case.query) for case in cases]
@@ -179,6 +191,9 @@ class RainDebugger:
         ranker = make_ranker(method, **self.ranker_kwargs)
 
         watch = Stopwatch()
+        # CG solutions carried between iterations (θ* barely moves after a
+        # top-k deletion, so the previous u / block are excellent starts).
+        warm = WarmStartState() if self.warm_start_cg else None
         active = np.arange(self.X_train.shape[0])
         removal_order: list[int] = []
         iterations: list[IterationRecord] = []
@@ -221,10 +236,12 @@ class RainDebugger:
                 analyzer=InfluenceAnalyzer(
                     self.model, X_active, y_active, damping=self.damping,
                     cg_max_iter=self.cg_max_iter, cg_tol=self.cg_tol,
+                    grad_cache=self._grad_cache, row_ids=active,
                 ),
                 case_results=case_results,
                 rng=self.rng,
                 watch=watch,
+                warm_start=warm,
             )
             scores = np.asarray(ranker.scores(context), dtype=np.float64)
             if scores.shape != (active.shape[0],):
@@ -247,6 +264,11 @@ class RainDebugger:
             top_positions = argsort_desc(scores)[:budget]
             removed = [int(active[position]) for position in top_positions]
             removal_order.extend(removed)
+            if warm is not None and warm.block is not None:
+                if warm.block.shape[1] == active.shape[0]:
+                    warm.drop_columns(top_positions)
+                else:  # ranker produced a partial block — don't carry it
+                    warm.block = None
             active = np.delete(active, top_positions)
 
             after = watch.as_dict()

@@ -9,6 +9,15 @@ Timing convention (for the paper's Figure 5/12 runtime breakdown): rankers
 charge work to the context stopwatch under ``encode`` (building the
 influence objective — ILP solving for TwoStep, relaxation sweeps for
 Holistic) and ``rank`` (the CG solve + per-record gradient dot products).
+
+Batched-solve conventions: InfLoss issues ONE block CG solve for all active
+records (``solver="scalar"`` keeps the paper's per-record loop as the slow
+reference); Holistic with ``per_query_solves=True`` solves every complaint
+case's objective in one block solve and sums the per-case score rows.  When
+the driver supplies a :class:`WarmStartState` (RainDebugger does by
+default), rankers seed CG with the previous iteration's solutions and write
+the new ones back — θ* barely moves after a top-k deletion, so warm solves
+typically need a fraction of the cold iteration count.
 """
 
 from __future__ import annotations
@@ -28,6 +37,30 @@ from ..utils import Stopwatch
 
 
 @dataclass
+class WarmStartState:
+    """CG solutions carried across train-rank-fix iterations.
+
+    ``u`` is the previous solution of the single-objective solve
+    (Holistic/TwoStep); ``block`` is the previous self-influence block
+    solution with one column per active record, kept aligned with the active
+    set by the driver (it deletes the removed records' columns each
+    iteration); ``q_block`` is the previous per-case block solution of
+    Holistic's ``per_query_solves`` path, one row per complaint case (cases
+    are fixed for a run, so no realignment is needed).  Rankers read these
+    as CG starting points and write the new solutions back in place.
+    """
+
+    u: np.ndarray | None = None
+    block: np.ndarray | None = None
+    q_block: np.ndarray | None = None
+
+    def drop_columns(self, positions: np.ndarray) -> None:
+        """Forget the block columns of just-removed records."""
+        if self.block is not None:
+            self.block = np.delete(self.block, positions, axis=1)
+
+
+@dataclass
 class IterationContext:
     """Everything a ranker may need for one train-rank-fix iteration."""
 
@@ -39,6 +72,7 @@ class IterationContext:
     rng: np.random.Generator
     watch: Stopwatch
     diagnostics: dict = field(default_factory=dict)
+    warm_start: WarmStartState | None = None
 
 
 class Ranker:
@@ -64,36 +98,103 @@ class InfLossRanker(Ranker):
     """Self-influence ranking [Koh & Liang 2017] (the InfLoss baseline).
 
     Scores are the negated self-influence ``∇ℓᵀH⁻¹∇ℓ``: records whose own
-    loss would grow fastest if removed come first.  One CG solve per record
-    — the paper's slowest method by far.
+    loss would grow fastest if removed come first.  The paper's slowest
+    method by far when run record-by-record (``solver="scalar"``, one CG
+    solve per record); the default ``solver="block"`` issues ONE block CG
+    solve for all records, warm-started from the previous iteration's block
+    when the driver carries one.
     """
 
     name = "infloss"
 
-    def __init__(self, max_records: int | None = None) -> None:
+    def __init__(self, max_records: int | None = None, solver: str = "block") -> None:
+        if solver not in ("block", "scalar"):
+            raise DebuggingError("solver must be 'block' or 'scalar'")
         self.max_records = max_records
+        self.solver = solver
 
     def scores(self, ctx: IterationContext) -> np.ndarray:
         with ctx.watch.time("rank"):
-            return -ctx.analyzer.self_influence(max_records=self.max_records)
+            if self.solver == "scalar":
+                scores = -ctx.analyzer.self_influence_scalar(
+                    max_records=self.max_records
+                )
+                ctx.diagnostics["cg_solves"] = dict(ctx.analyzer.solve_counts)
+                return scores
+            # Block warm starts only make sense when the block covers the
+            # whole active set (columns stay aligned under deletions).
+            carry = ctx.warm_start if self.max_records is None else None
+            X0 = carry.block if carry is not None else None
+            scores = -ctx.analyzer.self_influence(
+                max_records=self.max_records, X0=X0
+            )
+            block_result = ctx.analyzer.last_block_cg_result
+            if block_result is not None:
+                if carry is not None:
+                    carry.block = block_result.X
+                ctx.diagnostics["block_cg"] = block_result.summary()
+            ctx.diagnostics["cg_solves"] = dict(ctx.analyzer.solve_counts)
+            return scores
 
 
 class HolisticRanker(Ranker):
-    """The Holistic approach (Section 5.3): influence on relaxed complaints."""
+    """The Holistic approach (Section 5.3): influence on relaxed complaints.
+
+    With ``per_query_solves=True`` and several complaint cases, every case's
+    relaxed objective becomes one column of a single block CG solve; the
+    per-case score rows are summed (Eq. 4 is linear in ``∇q``, so this
+    matches the summed-gradient solve) and recorded in the iteration
+    diagnostics for per-query attribution.  The default sums the gradients
+    first and issues one scalar solve — the paper's formulation.
+    """
 
     name = "holistic"
 
+    def __init__(self, per_query_solves: bool = False) -> None:
+        self.per_query_solves = bool(per_query_solves)
+
     def scores(self, ctx: IterationContext) -> np.ndarray:
         with ctx.watch.time("encode"):
-            q_grad = np.zeros(ctx.model.n_params)
+            q_grads = []
             q_total = 0.0
             for case, result in ctx.case_results:
                 objective = RelaxedComplaintObjective(result, case.complaints)
-                q_grad += objective.q_grad_theta()
+                q_grads.append(objective.q_grad_theta())
                 q_total += objective.q_value()
             ctx.diagnostics["q_value"] = q_total
         with ctx.watch.time("rank"):
-            return ctx.analyzer.scores_from_q_grad(q_grad)
+            warm = ctx.warm_start
+            if self.per_query_solves and len(q_grads) > 1:
+                X0 = None
+                if warm is not None and warm.q_block is not None:
+                    if warm.q_block.shape == (len(q_grads), ctx.model.n_params):
+                        X0 = warm.q_block
+                per_case = ctx.analyzer.scores_from_q_grads(np.stack(q_grads), X0=X0)
+                ctx.diagnostics["per_query_score_norms"] = [
+                    float(np.linalg.norm(row)) for row in per_case
+                ]
+                if warm is not None:
+                    block = ctx.analyzer.last_block_cg_result
+                    if block is not None:
+                        warm.q_block = block.X.T
+                return per_case.sum(axis=0)
+            q_grad = q_grads[0] if len(q_grads) == 1 else np.sum(q_grads, axis=0)
+            scores = ctx.analyzer.scores_from_q_grad(
+                q_grad, x0=None if warm is None else warm.u
+            )
+            _record_scalar_cg(ctx, warm)
+            return scores
+
+
+def _record_scalar_cg(ctx: IterationContext, warm: WarmStartState | None) -> None:
+    """Store the scalar solve's solution/diagnostics after scores_from_q_grad."""
+    result = ctx.analyzer.last_cg_result
+    if result is None:
+        return
+    if warm is not None:
+        warm.u = result.x
+    ctx.diagnostics["cg_iterations"] = result.iterations
+    ctx.diagnostics["cg_converged"] = result.converged
 
 
 class TwoStepRanker(Ranker):
@@ -137,7 +238,12 @@ class TwoStepRanker(Ranker):
                 return np.zeros(ctx.X_active.shape[0])
             q_grad = self._q_grad(ctx, marked)
         with ctx.watch.time("rank"):
-            return ctx.analyzer.scores_from_q_grad(q_grad)
+            warm = ctx.warm_start
+            scores = ctx.analyzer.scores_from_q_grad(
+                q_grad, x0=None if warm is None else warm.u
+            )
+            _record_scalar_cg(ctx, warm)
+            return scores
 
     # -- SQL step -------------------------------------------------------------
 
@@ -201,11 +307,17 @@ class TwoStepRanker(Ranker):
         return q_grad
 
 
+def _infloss_scalar(**kwargs) -> InfLossRanker:
+    return InfLossRanker(solver="scalar", **kwargs)
+
+
 def make_ranker(method: str, **kwargs) -> Ranker:
-    """Factory used by the driver: 'loss', 'infloss', 'twostep', 'holistic'."""
+    """Factory used by the driver: 'loss', 'infloss', 'twostep', 'holistic'
+    (plus 'infloss-scalar', the per-record reference solver)."""
     registry = {
         "loss": LossRanker,
         "infloss": InfLossRanker,
+        "infloss-scalar": _infloss_scalar,
         "twostep": TwoStepRanker,
         "holistic": HolisticRanker,
     }

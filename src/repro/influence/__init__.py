@@ -1,13 +1,55 @@
-"""Influence functions: CG-based inverse HVPs and Eq. (4) scoring."""
+"""Influence functions: inverse-Hessian solvers and Eq. (4) scoring.
 
-from .cg import CGResult, conjugate_gradient
-from .functions import InfluenceAnalyzer, q_grad_for_target_predictions
+This package owns the numerical core of Rain's rankers — the Koh & Liang
+influence machinery behind the TwoStep, Holistic and InfLoss approaches:
+
+``cg``
+    Conjugate-gradient solvers for ``(H + λI) x = b`` given only
+    Hessian-vector products.  :func:`conjugate_gradient` handles a single
+    right-hand side; :func:`block_conjugate_gradient` solves a whole matrix
+    of right-hand sides in ONE sweep (every CG iteration issues one batched
+    Hessian-matrix product over all still-active columns, with per-column
+    convergence tracking).  The block solver is the engine behind batched
+    self-influence and multi-query scoring.
+
+``functions``
+    :class:`InfluenceAnalyzer` — Eq. (4) scores for a single objective
+    (``scores_from_q_grad``), for many objectives at once
+    (``scores_from_q_grads``, one block solve per call), and the
+    InfLoss statistic (``self_influence``, one block solve for all training
+    records; ``self_influence_scalar`` keeps the paper's per-record loop as
+    the golden reference).  The analyzer counts its solves
+    (``solve_counts``) and records per-column diagnostics
+    (``last_cg_results``), supports CG warm starts (``x0``/``X0`` — how
+    Rain's train-rank-fix loop reuses the previous iteration's solutions),
+    and can share a :class:`PerSampleGradCache` so per-sample gradients
+    survive top-k deletions that leave θ* unchanged.
+
+``lissa``
+    :func:`lissa_inverse_hvp` — the stochastic-recursion alternative to CG
+    from [Agarwal et al. 2017], used in the ablation benchmarks.
+"""
+
+from .cg import (
+    BlockCGResult,
+    CGResult,
+    block_conjugate_gradient,
+    conjugate_gradient,
+)
+from .functions import (
+    InfluenceAnalyzer,
+    PerSampleGradCache,
+    q_grad_for_target_predictions,
+)
 from .lissa import lissa_inverse_hvp
 
 __all__ = [
+    "BlockCGResult",
     "CGResult",
+    "block_conjugate_gradient",
     "conjugate_gradient",
     "InfluenceAnalyzer",
+    "PerSampleGradCache",
     "q_grad_for_target_predictions",
     "lissa_inverse_hvp",
 ]

@@ -103,6 +103,22 @@ class ClassificationModel:
         """Hessian-vector product of the mean data loss."""
         raise NotImplementedError
 
+    def _data_hvp_block(
+        self, params: np.ndarray, X: np.ndarray, y_idx: np.ndarray, V: np.ndarray
+    ) -> np.ndarray:
+        """Batched Hessian-matrix product ``H V`` for ``V`` of shape
+        ``(n_params, k)``.
+
+        The default falls back to one :meth:`_data_hvp` per column; linear
+        models override it with a single matrix-level contraction so a block
+        CG iteration costs a few BLAS-3 calls instead of ``k`` matvecs.
+        """
+        if V.shape[1] == 0:
+            return np.zeros_like(V)
+        return np.column_stack(
+            [self._data_hvp(params, X, y_idx, V[:, j]) for j in range(V.shape[1])]
+        )
+
     def _proba(self, params: np.ndarray, X: np.ndarray) -> np.ndarray:
         """(n, n_classes) class probabilities."""
         raise NotImplementedError
@@ -188,6 +204,23 @@ class ClassificationModel:
         """
         return self.per_sample_grads(X, y) @ np.asarray(v, dtype=np.float64)
 
+    def grad_dot_block(self, X: np.ndarray, y: np.ndarray, U: np.ndarray) -> np.ndarray:
+        """Per-sample directional derivatives against ``k`` directions.
+
+        ``U`` is ``(n_params, k)``; returns the ``(n, k)`` matrix with entry
+        ``[i, j] = ∇ℓ(z_i, θ)ᵀ U[:, j]``.  All models use this default: it
+        materializes per-sample gradients once and contracts them against
+        every direction in one GEMM.  Note the neural model's *scalar*
+        :meth:`grad_dot` uses central finite differences instead, so for
+        neural models the block and scalar paths agree only to FD error.
+        """
+        U = np.asarray(U, dtype=np.float64)
+        if U.ndim != 2 or U.shape[0] != self.n_params:
+            raise ModelError(
+                f"U has shape {U.shape}, expected ({self.n_params}, k)"
+            )
+        return self.per_sample_grads(X, y) @ U
+
     def hvp(self, X: np.ndarray, y: np.ndarray, v: np.ndarray) -> np.ndarray:
         """HVP of the *regularized* mean training loss: ``(∇²L)v``."""
         params = self.get_params()
@@ -196,6 +229,24 @@ class ClassificationModel:
             params, np.asarray(X, dtype=np.float64), self.labels_to_indices(y), v
         )
         return data + 2.0 * self.l2 * v
+
+    def hvp_block(self, X: np.ndarray, y: np.ndarray, V: np.ndarray) -> np.ndarray:
+        """Batched HVPs of the regularized loss: ``(∇²L) V`` column by column.
+
+        ``V`` is a ``(n_params, k)`` matrix of directions; the result has the
+        same shape.  This is the oracle
+        :func:`~repro.influence.cg.block_conjugate_gradient` consumes.
+        """
+        params = self.get_params()
+        V = np.asarray(V, dtype=np.float64)
+        if V.ndim != 2 or V.shape[0] != self.n_params:
+            raise ModelError(
+                f"V has shape {V.shape}, expected ({self.n_params}, k)"
+            )
+        data = self._data_hvp_block(
+            params, np.asarray(X, dtype=np.float64), self.labels_to_indices(y), V
+        )
+        return data + 2.0 * self.l2 * V
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         return self._proba(self.get_params(), np.asarray(X, dtype=np.float64))

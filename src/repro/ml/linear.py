@@ -113,6 +113,13 @@ class LogisticRegression(ClassificationModel):
         weights = p * (1.0 - p)
         return Xa.T @ (weights * (Xa @ v)) / X.shape[0]
 
+    def _data_hvp_block(self, params, X, y_idx, V):
+        # H V = (1/n) Xᵀ diag(σ') X V for all columns at once.
+        Xa = self._augment(X)
+        p = _stable_sigmoid(Xa @ params)
+        weights = (p * (1.0 - p))[:, None]
+        return Xa.T @ (weights * (Xa @ V)) / X.shape[0]
+
     def _proba(self, params, X):
         p1 = _stable_sigmoid(self._margins(params, X))
         return np.stack([1.0 - p1, p1], axis=1)
@@ -213,6 +220,18 @@ class SoftmaxRegression(ClassificationModel):
         # Row-wise (diag(p) - p pᵀ) A
         B = p * (A - (p * A).sum(axis=1, keepdims=True))
         return (Xa.T @ B / X.shape[0]).ravel()
+
+    def _data_hvp_block(self, params, X, y_idx, V):
+        # Same Fisher-form product as _data_hvp, batched over the b columns
+        # of V (each a flattened (n_rows, K) direction).
+        Xa = self._augment(X)
+        p = np.exp(self._log_proba(params, X))
+        n_rhs = V.shape[1]
+        W = V.T.reshape(n_rhs, self._n_rows, self.n_classes)
+        A = np.einsum("nd,bdk->bnk", Xa, W)
+        B = p[None, :, :] * (A - np.einsum("nk,bnk->bn", p, A)[:, :, None])
+        out = np.einsum("nd,bnk->bdk", Xa, B) / X.shape[0]
+        return out.reshape(n_rhs, -1).T
 
     def _proba(self, params, X):
         return np.exp(self._log_proba(params, X))

@@ -1,0 +1,239 @@
+"""Block CG: column-by-column equivalence with the scalar solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.influence import (
+    InfluenceAnalyzer,
+    block_conjugate_gradient,
+    conjugate_gradient,
+)
+from repro.ml import LogisticRegression, SoftmaxRegression
+
+
+def make_spd(dim, seed=0, scale=None):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(dim, dim))
+    return A @ A.T + (scale if scale is not None else dim) * np.eye(dim)
+
+
+class TestBlockMatchesScalar:
+    @pytest.mark.parametrize("dim,n_rhs,seed", [
+        (4, 1, 0), (6, 3, 1), (10, 10, 2), (8, 20, 3), (16, 5, 4),
+    ])
+    def test_converged_columns_match(self, dim, n_rhs, seed):
+        A = make_spd(dim, seed=seed)
+        B = np.random.default_rng(seed + 100).normal(size=(dim, n_rhs))
+        block = block_conjugate_gradient(lambda V: A @ V, B, tol=1e-12)
+        assert block.all_converged
+        for j in range(n_rhs):
+            scalar = conjugate_gradient(lambda v: A @ v, B[:, j], tol=1e-12)
+            np.testing.assert_allclose(block.X[:, j], scalar.x, atol=1e-8)
+            np.testing.assert_allclose(
+                block.X[:, j], np.linalg.solve(A, B[:, j]), atol=1e-7
+            )
+
+    def test_damping_matches_scalar(self):
+        A = make_spd(7, seed=5)
+        B = np.random.default_rng(6).normal(size=(7, 4))
+        damping = 0.9
+        block = block_conjugate_gradient(lambda V: A @ V, B, damping=damping, tol=1e-12)
+        for j in range(4):
+            scalar = conjugate_gradient(
+                lambda v: A @ v, B[:, j], damping=damping, tol=1e-12
+            )
+            np.testing.assert_allclose(block.X[:, j], scalar.x, atol=1e-8)
+
+    def test_zero_rhs_columns(self):
+        A = make_spd(5, seed=7)
+        B = np.random.default_rng(8).normal(size=(5, 4))
+        B[:, 1] = 0.0
+        B[:, 3] = 0.0
+        block = block_conjugate_gradient(lambda V: A @ V, B, tol=1e-12)
+        assert np.all(block.X[:, 1] == 0)
+        assert np.all(block.X[:, 3] == 0)
+        assert block.iterations[1] == 0 and block.iterations[3] == 0
+        assert block.converged[1] and block.converged[3]
+        # Non-zero columns still solved.
+        np.testing.assert_allclose(block.X[:, 0], np.linalg.solve(A, B[:, 0]), atol=1e-7)
+
+    def test_all_zero_rhs(self):
+        A = make_spd(4)
+        block = block_conjugate_gradient(lambda V: A @ V, np.zeros((4, 3)))
+        assert np.all(block.X == 0)
+        assert block.all_converged
+        assert block.block_hvp_calls == 0
+
+    def test_non_converged_columns_match_scalar(self):
+        """An iteration cap leaves both solvers at the same partial iterate."""
+        A = make_spd(30, seed=9, scale=1.0)  # ill-conditioned on purpose
+        B = np.random.default_rng(10).normal(size=(30, 3))
+        block = block_conjugate_gradient(lambda V: A @ V, B, max_iter=4, tol=1e-14)
+        assert not block.all_converged
+        for j in range(3):
+            scalar = conjugate_gradient(lambda v: A @ v, B[:, j], max_iter=4, tol=1e-14)
+            np.testing.assert_allclose(block.X[:, j], scalar.x, atol=1e-8)
+            assert block.converged[j] == scalar.converged
+            np.testing.assert_allclose(
+                block.residual_norms[j], scalar.residual_norm, rtol=1e-6
+            )
+
+    def test_mixed_convergence_tracked_per_column(self):
+        """Easy and hard columns in one block: per-column flags differ."""
+        A = np.diag(np.concatenate([np.ones(3), np.full(3, 1e4)]))
+        B = np.zeros((6, 2))
+        B[:3, 0] = 1.0   # easy: lives in the identity eigenspace
+        B[:, 1] = np.random.default_rng(11).normal(size=6)
+        block = block_conjugate_gradient(lambda V: A @ V, B, tol=1e-12)
+        assert block.converged[0]
+        assert block.iterations[0] <= 2
+        assert block.iterations[1] >= block.iterations[0]
+
+    def test_warm_start_converges_immediately(self):
+        A = make_spd(8, seed=12)
+        B = np.random.default_rng(13).normal(size=(8, 3))
+        exact = np.linalg.solve(A, B)
+        block = block_conjugate_gradient(lambda V: A @ V, B, X0=exact, tol=1e-10)
+        assert np.all(block.iterations <= 1)
+        assert block.all_converged
+
+    def test_warm_start_matches_cold_solution(self):
+        A = make_spd(9, seed=14)
+        B = np.random.default_rng(15).normal(size=(9, 4))
+        X0 = np.random.default_rng(16).normal(size=(9, 4))
+        warm = block_conjugate_gradient(lambda V: A @ V, B, X0=X0, tol=1e-12)
+        cold = block_conjugate_gradient(lambda V: A @ V, B, tol=1e-12)
+        np.testing.assert_allclose(warm.X, cold.X, atol=1e-7)
+
+    def test_raise_on_failure(self):
+        A = make_spd(30, seed=17, scale=1.0)
+        B = np.random.default_rng(18).normal(size=(30, 2))
+        with pytest.raises(ConvergenceError, match="columns"):
+            block_conjugate_gradient(
+                lambda V: A @ V, B, max_iter=1, tol=1e-14, raise_on_failure=True
+            )
+
+    def test_bad_shapes_rejected(self):
+        A = make_spd(4)
+        with pytest.raises(ValueError, match="matrix"):
+            block_conjugate_gradient(lambda V: A @ V, np.zeros(4))
+        with pytest.raises(ValueError, match="X0"):
+            block_conjugate_gradient(
+                lambda V: A @ V, np.zeros((4, 2)), X0=np.zeros((4, 3))
+            )
+
+    def test_result_column_view(self):
+        A = make_spd(5, seed=19)
+        B = np.random.default_rng(20).normal(size=(5, 2))
+        block = block_conjugate_gradient(lambda V: A @ V, B, tol=1e-12)
+        column = block.column(1)
+        np.testing.assert_allclose(column.x, block.X[:, 1])
+        assert column.converged == bool(block.converged[1])
+        assert len(block.columns()) == 2
+        summary = block.summary()
+        assert summary["columns"] == 2 and summary["converged"] == 2
+
+
+@pytest.fixture()
+def fitted_logistic():
+    rng = np.random.default_rng(23)
+    n, d = 90, 5
+    X = rng.normal(size=(n, d))
+    y = (X @ rng.normal(size=d) > 0).astype(int)
+    model = LogisticRegression((0, 1), n_features=d, l2=1e-2)
+    model.fit(X, y, warm_start=False)
+    return model, X, y
+
+
+class TestModelHvpBlock:
+    def test_logistic_matches_scalar_hvp(self, fitted_logistic):
+        model, X, y = fitted_logistic
+        V = np.random.default_rng(24).normal(size=(model.n_params, 6))
+        block = model.hvp_block(X, y, V)
+        for j in range(6):
+            np.testing.assert_allclose(block[:, j], model.hvp(X, y, V[:, j]), atol=1e-12)
+
+    def test_softmax_matches_scalar_hvp(self):
+        rng = np.random.default_rng(25)
+        n, d, k = 60, 4, 3
+        X = rng.normal(size=(n, d))
+        y = rng.integers(k, size=n)
+        model = SoftmaxRegression((0, 1, 2), n_features=d, l2=1e-2)
+        model.fit(X, y, warm_start=False)
+        V = rng.normal(size=(model.n_params, 5))
+        block = model.hvp_block(X, y, V)
+        for j in range(5):
+            np.testing.assert_allclose(block[:, j], model.hvp(X, y, V[:, j]), atol=1e-12)
+
+    def test_shape_validation(self, fitted_logistic):
+        model, X, y = fitted_logistic
+        from repro.errors import ModelError
+        with pytest.raises(ModelError, match="shape"):
+            model.hvp_block(X, y, np.zeros(model.n_params))
+        with pytest.raises(ModelError, match="shape"):
+            model.grad_dot_block(X, y, np.zeros((model.n_params + 1, 2)))
+
+    def test_grad_dot_block_matches_columns(self, fitted_logistic):
+        model, X, y = fitted_logistic
+        U = np.random.default_rng(26).normal(size=(model.n_params, 4))
+        block = model.grad_dot_block(X, y, U)
+        assert block.shape == (X.shape[0], 4)
+        for j in range(4):
+            np.testing.assert_allclose(block[:, j], model.grad_dot(X, y, U[:, j]), atol=1e-12)
+
+
+class TestAnalyzerBlockSolves:
+    def test_self_influence_matches_scalar_reference(self, fitted_logistic):
+        model, X, y = fitted_logistic
+        block_analyzer = InfluenceAnalyzer(model, X, y, damping=1e-4)
+        scalar_analyzer = InfluenceAnalyzer(model, X, y, damping=1e-4)
+        block_scores = block_analyzer.self_influence()
+        scalar_scores = scalar_analyzer.self_influence_scalar()
+        np.testing.assert_allclose(block_scores, scalar_scores, atol=1e-6)
+        # Exactly one block solve, zero scalar solves.
+        assert block_analyzer.solve_counts == {"scalar": 0, "block": 1}
+        assert scalar_analyzer.solve_counts == {"scalar": X.shape[0], "block": 0}
+
+    def test_self_influence_records_per_column_diagnostics(self, fitted_logistic):
+        model, X, y = fitted_logistic
+        analyzer = InfluenceAnalyzer(model, X, y, damping=1e-4)
+        analyzer.self_influence()
+        assert len(analyzer.last_cg_results) == X.shape[0]
+        assert analyzer.last_block_cg_result is not None
+        assert analyzer.last_block_cg_result.all_converged
+        assert all(result.converged for result in analyzer.last_cg_results)
+
+    def test_scalar_reference_records_all_results(self, fitted_logistic):
+        """The per-record loop must not clobber diagnostics (old bug)."""
+        model, X, y = fitted_logistic
+        analyzer = InfluenceAnalyzer(model, X, y, damping=1e-4)
+        analyzer.self_influence_scalar(max_records=7)
+        assert len(analyzer.last_cg_results) == 7
+        iteration_counts = {result.iterations for result in analyzer.last_cg_results}
+        assert all(result.converged for result in analyzer.last_cg_results)
+        # The final scalar result is the last column's, and the list keeps all.
+        assert analyzer.last_cg_result is analyzer.last_cg_results[-1]
+        assert iteration_counts  # non-empty
+
+    def test_scores_from_q_grads_matches_single_solves(self, fitted_logistic):
+        model, X, y = fitted_logistic
+        rng = np.random.default_rng(27)
+        Q = rng.normal(size=(3, model.n_params))
+        analyzer = InfluenceAnalyzer(model, X, y, damping=1e-4)
+        stacked = analyzer.scores_from_q_grads(Q)
+        assert analyzer.solve_counts["block"] == 1
+        assert stacked.shape == (3, X.shape[0])
+        for j in range(3):
+            single = InfluenceAnalyzer(model, X, y, damping=1e-4)
+            np.testing.assert_allclose(
+                stacked[j], single.scores_from_q_grad(Q[j]), atol=1e-6
+            )
+
+    def test_max_records_truncates_block(self, fitted_logistic):
+        model, X, y = fitted_logistic
+        analyzer = InfluenceAnalyzer(model, X, y, damping=1e-4)
+        scores = analyzer.self_influence(max_records=5)
+        assert np.all(scores[5:] == 0)
+        assert np.any(scores[:5] != 0)
+        assert len(analyzer.last_cg_results) == 5

@@ -115,6 +115,99 @@ class TestMLP:
             model.fit(X, np.zeros(len(y)), warm_start=False, max_iter=2)
 
 
+class TestVectorizedPerSampleGrads:
+    """Golden tests: one batched backward pass vs. the per-row loop."""
+
+    @pytest.mark.parametrize("seed,n,d,hidden", [
+        (0, 12, 4, [6]),
+        (1, 7, 9, [5, 3]),
+        (2, 25, 3, []),
+        (3, 1, 5, [4]),
+    ])
+    def test_mlp_matches_reference_loop(self, seed, n, d, hidden):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        y = rng.integers(2, size=n)
+        model = NeuralClassifier((0, 1), make_mlp(d, hidden, 2, rng=seed), l2=1e-3)
+        model.fit(X, y, warm_start=False, max_iter=20)
+        theta = model.get_params()
+        y_idx = model.labels_to_indices(y)
+        reference = model._per_sample_grads_reference(theta, X, y_idx)
+        vectorized = model._per_sample_grads_vectorized(theta, X, y_idx)
+        assert vectorized is not None
+        np.testing.assert_allclose(vectorized, reference, atol=1e-10)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_cnn_matches_reference_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        images = rng.normal(size=(5, 12, 12))
+        y = rng.integers(2, size=5)
+        model = NeuralClassifier(
+            (0, 1),
+            make_cnn(image_size=12, n_classes=2, channels=2, kernel=5, pool=2, rng=seed),
+            input_adapter=image_input_adapter,
+            l2=1e-3,
+        )
+        model.fit(images, y, warm_start=False, max_iter=5)
+        theta = model.get_params()
+        y_idx = model.labels_to_indices(y)
+        reference = model._per_sample_grads_reference(theta, images, y_idx)
+        vectorized = model._per_sample_grads_vectorized(theta, images, y_idx)
+        assert vectorized is not None
+        np.testing.assert_allclose(vectorized, reference, atol=1e-10)
+
+    def test_public_api_uses_vectorized_path(self, mlp_problem, fitted_mlp):
+        X, y = mlp_problem
+        theta = fitted_mlp.get_params()
+        y_idx = fitted_mlp.labels_to_indices(y)
+        grads = fitted_mlp.per_sample_grads(X, y)
+        np.testing.assert_allclose(
+            grads,
+            fitted_mlp._per_sample_grads_reference(theta, X, y_idx),
+            atol=1e-10,
+        )
+
+    def test_uncaptured_network_falls_back_to_loop(self, mlp_problem):
+        """A parameterized layer without capture support must not be skipped."""
+        from repro.autodiff import nn
+        from repro.autodiff import tensor as T
+
+        class OpaqueDense(nn.Module):
+            def __init__(self, inner):
+                self.inner = inner
+
+            def parameters(self):
+                return self.inner.parameters()
+
+            def __call__(self, x):
+                return self.inner(x)
+
+        X, y = mlp_problem
+        rng_net = nn.Sequential(
+            [OpaqueDense(nn.Dense(6, 2, rng=0))]
+        )
+        model = NeuralClassifier((0, 1), rng_net, l2=1e-3)
+        model.fit(X, y, warm_start=False, max_iter=10)
+        theta = model.get_params()
+        y_idx = model.labels_to_indices(y)
+        assert model._per_sample_grads_vectorized(theta, X, y_idx) is None
+        grads = model.per_sample_grads(X, y)  # falls back, stays correct
+        np.testing.assert_allclose(
+            grads.mean(axis=0),
+            model._data_loss_and_grad(theta, X, y_idx)[1],
+            atol=1e-8,
+        )
+
+    def test_hvp_block_matches_scalar_fd(self, mlp_problem, fitted_mlp):
+        X, y = mlp_problem
+        V = np.random.default_rng(5).normal(size=(fitted_mlp.n_params, 3))
+        block = fitted_mlp.hvp_block(X[:10], y[:10], V)
+        for j in range(3):
+            np.testing.assert_allclose(
+                block[:, j], fitted_mlp.hvp(X[:10], y[:10], V[:, j]), atol=1e-8
+            )
+
+
 class TestCNNModel:
     def test_cnn_fits_tiny_digits(self):
         from repro.data import make_mnist

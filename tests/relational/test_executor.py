@@ -147,6 +147,82 @@ class TestJoin:
             Executor(join_db).execute(plan)
 
 
+class TestJoinEdgeCases:
+    """Hash-join corners: empty sides, duplicate keys, empty × empty."""
+
+    @pytest.fixture()
+    def edge_db(self, fitted_binary_model):
+        rng = np.random.default_rng(1)
+        db = Database()
+        db.add_relation(
+            Relation("A", {"k": np.asarray([1, 2, 2, 3]), "a": np.asarray([10, 20, 21, 30])})
+        )
+        db.add_relation(
+            Relation("B", {"k": np.asarray([2, 2, 4]), "b": np.asarray([200, 201, 400])})
+        )
+        db.add_relation(Relation("E", {"k": np.zeros(0, dtype=np.int64), "e": np.zeros(0)}))
+        db.add_relation(
+            Relation("F", {"k": np.asarray([7]), "features": rng.normal(size=(1, 4))})
+        )
+        db.add_model("m", fitted_binary_model)
+        return db
+
+    def equi(self, left, right):
+        return Join(
+            Scan(left, left), Scan(right, right),
+            Cmp("=", Col(f"{left}.k"), Col(f"{right}.k")),
+        )
+
+    def test_empty_left_side(self, edge_db):
+        result = Executor(edge_db).execute(self.equi("E", "B"))
+        assert len(result.relation) == 0
+
+    def test_empty_right_side(self, edge_db):
+        result = Executor(edge_db).execute(self.equi("A", "E"))
+        assert len(result.relation) == 0
+
+    def test_empty_both_sides(self, edge_db):
+        plan = Join(Scan("E", "E1"), Scan("E", "E2"),
+                    Cmp("=", Col("E1.k"), Col("E2.k")))
+        result = Executor(edge_db).execute(plan)
+        assert len(result.relation) == 0
+
+    def test_empty_join_in_debug_mode_keeps_no_candidates(self, edge_db):
+        result = Executor(edge_db).execute(self.equi("E", "B"), debug=True)
+        assert len(result.relation) == 0
+        assert len(result.candidate_batch) == 0
+        assert result.candidate_conditions == []
+
+    def test_duplicate_keys_produce_all_pairs(self, edge_db):
+        result = Executor(edge_db).execute(self.equi("A", "B"))
+        # k=2 appears twice on each side: 2 × 2 = 4 pairs; nothing else matches.
+        assert len(result.relation) == 4
+        pairs = sorted(
+            (int(row["A.a"]), int(row["B.b"])) for row in result.relation.to_dicts()
+        )
+        assert pairs == [(20, 200), (20, 201), (21, 200), (21, 201)]
+
+    def test_duplicate_keys_match_cross_filter_semantics(self, edge_db):
+        ex = Executor(edge_db)
+        equi_rows = sorted(map(str, ex.execute(self.equi("A", "B")).relation.to_dicts()))
+        cross = Filter(
+            Join(Scan("A", "A"), Scan("B", "B")), Cmp("=", Col("A.k"), Col("B.k"))
+        )
+        cross_rows = sorted(map(str, ex.execute(cross).relation.to_dicts()))
+        assert equi_rows == cross_rows
+
+    def test_disjoint_keys_empty_result(self, edge_db):
+        result = Executor(edge_db).execute(self.equi("F", "B"))
+        assert len(result.relation) == 0
+
+    def test_empty_join_feeds_aggregate(self, edge_db):
+        plan = Aggregate(self.equi("E", "B"), (), [AggSpec("count", None, "count")])
+        result = Executor(edge_db).execute(plan, debug=True)
+        assert result.scalar("count") == 0.0
+        poly = result.cell_polynomial(0, "count")
+        assert poly.evaluate(result.assignment()) == 0.0
+
+
 class TestModelJoin:
     @pytest.fixture()
     def db(self, fitted_multiclass_model):
@@ -291,6 +367,75 @@ class TestAggregates:
         result = executor.execute(plan, debug=True)
         with pytest.raises(ProvenanceError, match="not an aggregate output"):
             result.cell_polynomial(0, "nope")
+
+
+class TestEmptyGroupProvenance:
+    """Aggregate provenance polynomials over groups with no members."""
+
+    def empty_scan(self):
+        # A deterministic filter nothing satisfies: the aggregate input is empty.
+        return Filter(scan(), Cmp("<", Col("id"), Const(-1)))
+
+    def test_global_sum_over_empty_input(self, executor):
+        plan = Aggregate(self.empty_scan(), (), [AggSpec("sum", Col("id"), "s")])
+        result = executor.execute(plan, debug=True)
+        assert result.scalar("s") == 0.0
+        poly = result.cell_polynomial(0, "s")
+        assert poly.evaluate(result.assignment()) == 0.0
+        assert poly.atoms() == set()
+
+    def test_global_count_polynomial_over_empty_input(self, executor):
+        plan = Aggregate(self.empty_scan(), (), [AggSpec("count", None, "count")])
+        result = executor.execute(plan, debug=True)
+        poly = result.cell_polynomial(0, "count")
+        assert isinstance(poly, prov.LinearSum)
+        assert poly.terms == ()
+        assert poly.evaluate(result.assignment()) == 0.0
+
+    def test_global_avg_over_empty_input_is_nan(self, executor):
+        plan = Aggregate(self.empty_scan(), (), [AggSpec("avg", Col("id"), "a")])
+        result = executor.execute(plan, debug=True)
+        poly = result.cell_polynomial(0, "a")
+        assert np.isnan(poly.evaluate(result.assignment()))
+
+    def test_empty_global_group_always_exists(self, executor):
+        plan = Aggregate(self.empty_scan(), (), [AggSpec("count", None, "count")])
+        result = executor.execute(plan, debug=True)
+        assert len(result.relation) == 1
+        assert len(result.groups) == 1
+        assert result.groups[0].condition.is_true()
+
+    def test_currently_empty_predict_group_has_polynomial(self, executor, simple_db):
+        """A predict() class group with no current members is still a
+        candidate group whose polynomial can be queried by key."""
+        model = simple_db.model("m")
+        features = simple_db.relation("R").column("features")
+        predicted = np.asarray(model.predict(features))
+        plan = Aggregate(
+            scan(),
+            [(ModelPredict("m", Col("features")), "pred")],
+            [AggSpec("count", None, "count")],
+        )
+        result = executor.execute(plan, debug=True)
+        assignment = result.assignment()
+        # Both classes are candidate groups regardless of current membership.
+        assert {group.key for group in result.groups} == {(0,), (1,)}
+        for label in (0, 1):
+            poly = result.group_polynomial_by_key((label,), "count")
+            assert poly.evaluate(assignment) == float(np.sum(predicted == label))
+
+    def test_empty_group_not_in_concrete_output(self, executor):
+        """Grouped aggregate over empty input: candidate machinery yields
+        no groups at all (no spurious output rows)."""
+        plan = Aggregate(
+            self.empty_scan(), [(Col("flag"), "flag")],
+            [AggSpec("count", None, "count")],
+        )
+        result = executor.execute(plan, debug=True)
+        assert len(result.relation) == 0
+        assert result.groups == []
+        with pytest.raises(ProvenanceError, match="no candidate group"):
+            result.group_polynomial_by_key((0,), "count")
 
     def test_scalar_requires_single_row(self, executor):
         plan = Aggregate(
