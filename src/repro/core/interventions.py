@@ -63,7 +63,12 @@ class RelabelDebugger(RainDebugger):
                 )
             with watch.time("execute"):
                 case_results = [
-                    (case, self.executor.execute(plan, debug=True))
+                    (
+                        case,
+                        self.executor.execute(
+                            plan, debug=True, provenance=self.provenance
+                        ),
+                    )
                     for case, plan in zip(self.cases, self._plans)
                 ]
             context = IterationContext(

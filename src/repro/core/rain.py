@@ -104,6 +104,7 @@ class RainDebugger:
         cg_max_iter: int | None = None,
         cg_tol: float = 1e-8,
         warm_start_cg: bool = True,
+        provenance: str = "compiled",
     ) -> None:
         if not cases and method in ("auto", "twostep", "holistic"):
             raise DebuggingError(
@@ -130,6 +131,11 @@ class RainDebugger:
         self.cg_max_iter = cg_max_iter
         self.cg_tol = float(cg_tol)
         self.warm_start_cg = bool(warm_start_cg)
+        if provenance not in ("compiled", "tree"):
+            raise DebuggingError(
+                f"provenance must be 'compiled' or 'tree', got {provenance!r}"
+            )
+        self.provenance = provenance
         # Per-sample gradients survive across iterations while θ* is
         # unchanged; top-k deletions only slice rows out of the cached matrix.
         self._grad_cache = PerSampleGradCache()
@@ -154,7 +160,7 @@ class RainDebugger:
             return self.requested_method
         self._ensure_fitted()
         for case, plan in zip(self.cases, self._plans):
-            result = self.executor.execute(plan, debug=True)
+            result = self.executor.execute(plan, debug=True, provenance=self.provenance)
             try:
                 encoder = TiresiasEncoder(result)
                 encoder.add_complaints(case.complaints)
@@ -218,7 +224,12 @@ class RainDebugger:
                 case_results: list[tuple[ComplaintCase, QueryResult]] = []
                 for case, plan in zip(self.cases, self._plans):
                     case_results.append(
-                        (case, self.executor.execute(plan, debug=True))
+                        (
+                            case,
+                            self.executor.execute(
+                                plan, debug=True, provenance=self.provenance
+                            ),
+                        )
                     )
 
             satisfied = bool(case_results) and all_satisfied(case_results)

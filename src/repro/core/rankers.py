@@ -159,8 +159,9 @@ class HolisticRanker(Ranker):
             q_total = 0.0
             for case, result in ctx.case_results:
                 objective = RelaxedComplaintObjective(result, case.complaints)
-                q_grads.append(objective.q_grad_theta())
-                q_total += objective.q_value()
+                q_value, q_grad = objective.q_and_grad_theta()
+                q_grads.append(q_grad)
+                q_total += q_value
             ctx.diagnostics["q_value"] = q_total
         with ctx.watch.time("rank"):
             warm = ctx.warm_start
@@ -214,6 +215,7 @@ class TwoStepRanker(Ranker):
         node_limit: int = 20000,
         time_limit: float | None = 60.0,
         on_failure: str = "zeros",
+        lp_backend: str | None = None,
     ) -> None:
         if on_failure not in ("zeros", "raise"):
             raise DebuggingError("on_failure must be 'zeros' or 'raise'")
@@ -221,6 +223,7 @@ class TwoStepRanker(Ranker):
         self.node_limit = node_limit
         self.time_limit = time_limit
         self.on_failure = on_failure
+        self.lp_backend = lp_backend
 
     def scores(self, ctx: IterationContext) -> np.ndarray:
         with ctx.watch.time("encode"):
@@ -275,6 +278,7 @@ class TwoStepRanker(Ranker):
                 max_solutions=self.ambiguity_cap,
                 node_limit=self.node_limit,
                 time_limit=self.time_limit,
+                lp_backend=self.lp_backend,
             )
             total_ambiguity *= len(solutions)
             chosen = pick_solution(solutions, ctx.rng)

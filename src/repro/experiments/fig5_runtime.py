@@ -11,6 +11,14 @@ batched engine (ONE block CG solve for all records, warm-started across
 iterations) while ``infloss-scalar`` keeps the paper-faithful per-record
 loop, so the table doubles as the block-solve before/after comparison.
 
+Since the tensorized-provenance engine, the Encode side runs compiled by
+default: the executor emits provenance as node arrays, Holistic's relaxed
+objective is one batched forward/backward sweep, and TwoStep's ILP uses
+the persistent HiGHS backend.  ``benchmarks/test_bench_compiled_provenance``
+measures this same configuration against the preserved interpreted
+reference (tree provenance + per-call linprog) and asserts identical
+removal orders.
+
 We fold query execution time into Encode, matching the paper's grouping.
 """
 

@@ -54,26 +54,44 @@ class TiresiasEncoder:
         self.runtime = result.runtime
         self.program = BinaryProgram()
 
-        self.site_ids = sorted(site.site_id for site in self.runtime.sites)
+        self.site_ids = list(range(len(self.runtime.sites)))
         if not self.site_ids:
             raise ILPError("the query contains no model inference; nothing to fix")
         self.classes_by_site: dict[int, list] = {}
-        self.current_labels: dict[int, object] = {}
+        self.current_labels: dict[int, object] = dict(
+            enumerate(self.runtime.site_labels())
+        )
         # (site_id, label) -> y variable index
         self.y_vars: dict[tuple[int, object], int] = {}
         self._aux_cache: dict[int, Affine] = {}
 
-        for site_id in self.site_ids:
-            site = self.runtime.sites[site_id]
-            classes = self.runtime.model_classes(site.model_name)
-            self.classes_by_site[site_id] = classes
-            self.current_labels[site_id] = self.runtime.prediction_for_site(site.key)
-            one_hot: dict[int, float] = {}
-            for label in classes:
-                var = self.program.add_var(f"y[{site_id},{label}]")
-                self.y_vars[(site_id, label)] = var
-                one_hot[var] = 1.0
-            self.program.add_constraint(one_hot, "=", 1.0)
+        # One run of the site registry shares a model, so variables and
+        # one-hot constraints are laid out run by run in bulk.
+        classes_of_model: dict[str, list] = {}
+        for start, model_name, _relation, rows in self.runtime.sites.runs():
+            classes = classes_of_model.get(model_name)
+            if classes is None:
+                classes = self.runtime.model_classes(model_name)
+                classes_of_model[model_name] = classes
+            run_sites = range(start, start + rows.shape[0])
+            names = [
+                f"y[{site_id},{label}]" for site_id in run_sites for label in classes
+            ]
+            first = self.program.add_vars(names).start
+            k = len(classes)
+            self.y_vars.update(
+                {
+                    (site_id, label): first + offset * k + column
+                    for offset, site_id in enumerate(run_sites)
+                    for column, label in enumerate(classes)
+                }
+            )
+            self.classes_by_site.update(dict.fromkeys(run_sites, classes))
+            for offset in range(rows.shape[0]):
+                base = first + offset * k
+                self.program.add_constraint(
+                    {base + column: 1.0 for column in range(k)}, "=", 1.0
+                )
 
         # Objective: number of changed predictions.
         objective: dict[int, float] = {}
@@ -212,8 +230,48 @@ class TiresiasEncoder:
         for complaint in complaints:
             self.add_complaint(complaint)
 
+    def _compiled_value_affine(self, complaint: ValueComplaint) -> Affine | None:
+        """Affine form straight from compiled ``Σ coeff·atom`` cell arrays.
+
+        COUNT/SUM cells compile to one ADD-over-atoms node; its flat term
+        arrays map directly onto y-variables without materializing a tree.
+        Returns ``None`` for other shapes (AVG ratios, deterministic
+        members, tree-mode results), which take the interpreted path.
+        """
+        result = self.result
+        if not getattr(result, "compiled", False):
+            return None
+        node = result.cell_node_for(
+            complaint.column,
+            row_index=complaint.row_index,
+            group_key=complaint.group_key,
+        )
+        terms = result.pool.linear_atom_terms(node)
+        if terms is None:
+            return None
+        coeffs, sites, label_ids = terms
+        labels = result.pool.labels
+        affine: dict[int, float] = {}
+        for coeff, site, label_id in zip(
+            coeffs.tolist(), sites.tolist(), label_ids.tolist()
+        ):
+            var = self.y_vars.get((site, labels[label_id]))
+            if var is None:
+                raise ILPError(
+                    f"atom [site {site} = {labels[label_id]!r}] refers to an "
+                    "unknown site/class"
+                )
+            affine[var] = affine.get(var, 0.0) + coeff
+        return affine, 0.0
+
     def add_complaint(self, complaint) -> None:
         if isinstance(complaint, ValueComplaint):
+            fast = self._compiled_value_affine(complaint)
+            if fast is not None:
+                self.program.add_constraint(
+                    fast[0], complaint.op, complaint.value - fast[1]
+                )
+                return
             poly = complaint.polynomial(self.result)
             if isinstance(poly, prov.DivExpr):
                 # AVG: num / den op X  →  num - X·den op 0 (den ≥ 0).

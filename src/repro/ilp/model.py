@@ -4,13 +4,21 @@ The TwoStep SQL step (Section 5.2) translates complaints + provenance into
 an ILP à la Tiresias [Meliou & Suciu 2012].  The paper solves these with
 Gurobi/CPLEX; this module provides the model representation and
 :mod:`repro.ilp.solver` provides an exact branch-and-bound solver over
-scipy LP relaxations.
+LP relaxations (a persistent HiGHS instance by default, scipy ``linprog``
+as the reference).
+
+Constraints are additionally materialized as one CSR matrix
+(:meth:`BinaryProgram.rows`), cached until the next mutation, so that
+feasibility checks and LP-backend construction are array operations
+rather than per-coefficient Python loops.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..errors import ILPError
 
@@ -39,6 +47,16 @@ class BinaryProgram:
         self.objective_constant: float = 0.0
         self.constraints: list[Constraint] = []
         self._fixed: dict[int, int] = {}
+        self._objective_arrays: tuple[np.ndarray, np.ndarray] | None = None
+        # Incremental CSR builder (constraints are append-only): amortized
+        # growable arrays so rows() hands out views, never re-snapshots.
+        self._csr_starts = np.zeros(16, dtype=np.int64)
+        self._csr_indices = np.zeros(64, dtype=np.int64)
+        self._csr_values = np.zeros(64, dtype=np.float64)
+        self._csr_lower = np.zeros(16, dtype=np.float64)
+        self._csr_upper = np.zeros(16, dtype=np.float64)
+        self._csr_nnz = 0
+        self._rows_built = 0
 
     # -- variables ---------------------------------------------------------------
 
@@ -46,6 +64,34 @@ class BinaryProgram:
         index = len(self._names)
         self._names.append(name or f"x{index}")
         return index
+
+    def add_vars(self, names: list[str]) -> range:
+        """Bulk variable creation; returns the new index range."""
+        first = len(self._names)
+        self._names.extend(names)
+        return range(first, len(self._names))
+
+    def clone(self) -> "BinaryProgram":
+        """A deep-enough copy sharing no mutable state with the original.
+
+        Constraints are immutable, so the copy reuses them (and the already
+        built CSR prefix) instead of re-validating every coefficient.
+        """
+        other = BinaryProgram()
+        other._names = list(self._names)
+        other._objective = dict(self._objective)
+        other.objective_constant = self.objective_constant
+        other.constraints = list(self.constraints)
+        other._fixed = dict(self._fixed)
+        self._sync_rows_builder()  # materialize the CSR prefix, then copy it
+        other._csr_starts = self._csr_starts.copy()
+        other._csr_indices = self._csr_indices.copy()
+        other._csr_values = self._csr_values.copy()
+        other._csr_lower = self._csr_lower.copy()
+        other._csr_upper = self._csr_upper.copy()
+        other._csr_nnz = self._csr_nnz
+        other._rows_built = self._rows_built
+        return other
 
     @property
     def n_vars(self) -> int:
@@ -70,10 +116,12 @@ class BinaryProgram:
         self._validate_indices(coeffs)
         self._objective = {int(k): float(v) for k, v in coeffs.items() if v != 0.0}
         self.objective_constant = float(constant)
+        self._objective_arrays = None
 
     def add_objective_term(self, index: int, coeff: float) -> None:
         self._validate_indices({index: coeff})
         self._objective[index] = self._objective.get(index, 0.0) + float(coeff)
+        self._objective_arrays = None
 
     @property
     def objective(self) -> dict[int, float]:
@@ -98,21 +146,111 @@ class BinaryProgram:
     # -- evaluation -------------------------------------------------------------------
 
     def objective_value(self, x) -> float:
-        total = self.objective_constant
-        for index, coeff in self._objective.items():
-            total += coeff * float(x[index])
-        return total
+        if self._objective_arrays is None:
+            self._objective_arrays = (
+                np.asarray(list(self._objective.keys()), dtype=np.int64),
+                np.asarray(list(self._objective.values()), dtype=np.float64),
+            )
+        indices, coeffs = self._objective_arrays
+        return self.objective_constant + float(
+            coeffs @ np.asarray(x, dtype=np.float64)[indices]
+        )
+
+    def rows(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """All constraints as one CSR: (starts, indices, values, lower, upper).
+
+        ``starts`` has one extra trailing entry; row bounds encode the sense
+        (``<=`` → (-inf, rhs), ``>=`` → (rhs, inf), ``=`` → (rhs, rhs)).
+        Built incrementally: only constraints added since the last call are
+        walked, and the returned arrays are views into amortized buffers.
+        """
+        self._sync_rows_builder()
+        n_rows = self._rows_built
+        return (
+            self._csr_starts[: n_rows + 1],
+            self._csr_indices[: self._csr_nnz],
+            self._csr_values[: self._csr_nnz],
+            self._csr_lower[:n_rows],
+            self._csr_upper[:n_rows],
+        )
+
+    def _reserve_rows(self, extra_rows: int, extra_nnz: int) -> None:
+        from ..utils import grow_array
+
+        needed_rows = self._rows_built + extra_rows + 1
+        for name in ("_csr_starts", "_csr_lower", "_csr_upper"):
+            setattr(self, name, grow_array(getattr(self, name), needed_rows))
+        needed_nnz = self._csr_nnz + extra_nnz
+        for name in ("_csr_indices", "_csr_values"):
+            setattr(self, name, grow_array(getattr(self, name), needed_nnz))
+
+    def _push_row(
+        self, indices: np.ndarray, values: np.ndarray, sense: str, rhs: float
+    ) -> None:
+        count = indices.shape[0]
+        self._reserve_rows(1, count)
+        nnz = self._csr_nnz
+        self._csr_indices[nnz : nnz + count] = indices
+        self._csr_values[nnz : nnz + count] = values
+        self._csr_nnz = nnz + count
+        row = self._rows_built
+        self._csr_starts[row + 1] = self._csr_nnz
+        if sense == "<=":
+            self._csr_lower[row] = -np.inf
+            self._csr_upper[row] = rhs
+        elif sense == ">=":
+            self._csr_lower[row] = rhs
+            self._csr_upper[row] = np.inf
+        else:
+            self._csr_lower[row] = rhs
+            self._csr_upper[row] = rhs
+        self._rows_built = row + 1
+
+    def _sync_rows_builder(self) -> None:
+        for constraint in self.constraints[self._rows_built :]:
+            self._push_row(
+                np.asarray([index for index, _ in constraint.coeffs], dtype=np.int64),
+                np.asarray([coeff for _, coeff in constraint.coeffs], dtype=np.float64),
+                constraint.sense,
+                constraint.rhs,
+            )
+
+    def add_dense_constraint(
+        self, values: np.ndarray, sense: str, rhs: float
+    ) -> None:
+        """Add a constraint from a dense coefficient vector (C-speed packing).
+
+        Equivalent to ``add_constraint(dict(enumerate(values)), ...)`` but
+        packs the row and extends the CSR builder without per-coefficient
+        Python loops — the no-good cuts of the optimum enumeration are
+        full-width rows, so this is their hot path.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[0] != self.n_vars:
+            raise ILPError(
+                f"dense row has {values.shape[0]} coefficients for "
+                f"{self.n_vars} variables"
+            )
+        nonzero = np.flatnonzero(values)
+        packed = tuple(zip(nonzero.tolist(), values[nonzero].tolist()))
+        self._sync_rows_builder()
+        self.constraints.append(Constraint(packed, sense, float(rhs)))
+        self._push_row(nonzero, values[nonzero], sense, float(rhs))
 
     def is_feasible(self, x, tol: float = 1e-6) -> bool:
         for index, value in self._fixed.items():
             if abs(float(x[index]) - value) > tol:
                 return False
-        for constraint in self.constraints:
-            lhs = sum(coeff * float(x[index]) for index, coeff in constraint.coeffs)
-            if constraint.sense == "<=" and lhs > constraint.rhs + tol:
-                return False
-            if constraint.sense == ">=" and lhs < constraint.rhs - tol:
-                return False
-            if constraint.sense == "=" and abs(lhs - constraint.rhs) > tol:
-                return False
-        return True
+        if not self.constraints:
+            return True
+        starts, indices, values, lower, upper = self.rows()
+        x = np.asarray(x, dtype=np.float64)
+        products = values * x[indices]
+        counts = np.diff(starts)
+        lhs = np.zeros(counts.shape[0], dtype=np.float64)
+        nonempty = counts > 0
+        if products.size:
+            lhs[nonempty] = np.add.reduceat(products, starts[:-1][nonempty])
+        return bool(
+            np.all(lhs <= upper + tol) and np.all(lhs >= lower - tol)
+        )

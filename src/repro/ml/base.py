@@ -76,7 +76,7 @@ class ClassificationModel:
             ) from None
 
     def indices_to_labels(self, indices: np.ndarray) -> np.ndarray:
-        return np.asarray([self.classes[int(index)] for index in indices])
+        return np.asarray(self.classes)[np.asarray(indices, dtype=np.int64)]
 
     # -- core numerical interface (implemented by subclasses) --------------------
 

@@ -7,6 +7,7 @@ aggregate provenance over prediction atoms.
 """
 
 from .algebra import AggSpec, Aggregate, Filter, Join, Plan, Project, Scan
+from .compile import CompiledProvenance, NodePool
 from .context import QueryRuntime, TupleBatch
 from .executor import Executor, GroupInfo, QueryResult
 from .expressions import (
@@ -49,6 +50,7 @@ from .sql import ParsedQuery, parse, plan_sql
 
 __all__ = [
     "AggSpec", "Aggregate", "Filter", "Join", "Plan", "Project", "Scan",
+    "CompiledProvenance", "NodePool",
     "QueryRuntime", "TupleBatch", "Executor", "GroupInfo", "QueryResult",
     "Arith", "BoolAnd", "BoolNot", "BoolOr", "Cmp", "Col", "Const", "Expr",
     "Like", "ModelPredict", "col", "eq", "lit", "predict",

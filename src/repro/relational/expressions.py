@@ -90,6 +90,32 @@ class Expr:
         values = np.asarray(self.eval(batch, runtime), dtype=float)
         return [prov.ConstNum(float(value)) for value in values]
 
+    # -- compiled (node-emitting) symbolic interfaces ------------------------
+
+    def symbolic_bool_nodes(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> np.ndarray:
+        """Per-tuple boolean provenance as pool node ids (compiled path)."""
+        if self.depends_on_model():
+            raise UnsupportedQueryError(
+                f"cannot build boolean provenance for {self!r}",
+                feature=type(self).__name__,
+            )
+        values = np.asarray(self.eval(batch, runtime), dtype=bool)
+        return runtime.pool.const_bool(values)
+
+    def symbolic_num_nodes(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> np.ndarray:
+        """Per-tuple numeric provenance as pool node ids (compiled path)."""
+        if self.depends_on_model():
+            raise UnsupportedQueryError(
+                f"cannot build numeric provenance for {self!r}",
+                feature=type(self).__name__,
+            )
+        values = np.asarray(self.eval(batch, runtime), dtype=float)
+        return runtime.pool.const_num(values)
+
 
 class Col(Expr):
     """A column reference, optionally qualified (``alias.column``)."""
@@ -161,6 +187,33 @@ class Arith(Expr):
             feature="arith-over-predict",
         )
 
+    def symbolic_num_nodes(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> np.ndarray:
+        if not self.depends_on_model():
+            return super().symbolic_num_nodes(batch, runtime)
+        pool = runtime.pool
+        left = self.left.symbolic_num_nodes(batch, runtime)
+        right = self.right.symbolic_num_nodes(batch, runtime)
+        n = left.shape[0]
+        if self.op in ("+", "-"):
+            child_flat = np.empty(2 * n, dtype=np.int64)
+            child_flat[0::2] = left
+            child_flat[1::2] = right
+            coeffs = np.empty(2 * n, dtype=np.float64)
+            coeffs[0::2] = 1.0
+            coeffs[1::2] = 1.0 if self.op == "+" else -1.0
+            offsets = np.arange(n + 1, dtype=np.int64) * 2
+            return pool.add_segments(coeffs, child_flat, offsets)
+        if self.op == "*":
+            return pool.mul2(left, right)
+        if self.op == "/":
+            return pool.div2(left, right)
+        raise UnsupportedQueryError(
+            f"operator {self.op!r} over model predictions is not supported",
+            feature="arith-over-predict",
+        )
+
     def __repr__(self) -> str:
         return f"({self.left!r} {self.op} {self.right!r})"
 
@@ -202,7 +255,9 @@ class ModelPredict(Expr):
         relation_name, row_ids, features = self._site_inputs(batch, runtime)
         # Populate the prediction cache so sites always have concrete values.
         runtime.predict(self.model_name, relation_name, row_ids, features)
-        return runtime.intern_sites(self.model_name, relation_name, row_ids, features)
+        return runtime.intern_sites(
+            self.model_name, relation_name, row_ids, features
+        ).tolist()
 
     def symbolic_num(
         self, batch: TupleBatch, runtime: QueryRuntime
@@ -220,6 +275,26 @@ class ModelPredict(Expr):
             prov.pred_value(site_id, class_values)
             for site_id in self.site_ids(batch, runtime)
         ]
+
+    def symbolic_num_nodes(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> np.ndarray:
+        classes = runtime.model_classes(self.model_name)
+        try:
+            class_values = np.asarray([float(label) for label in classes])
+        except (TypeError, ValueError) as exc:
+            raise UnsupportedQueryError(
+                f"model {self.model_name!r} has non-numeric classes; its "
+                "predictions cannot appear in an arithmetic context",
+                feature="predict-as-number",
+            ) from exc
+        pool = runtime.pool
+        site_ids = np.asarray(self.site_ids(batch, runtime), dtype=np.int64)
+        n, k = site_ids.shape[0], len(classes)
+        label_ids = pool.intern_labels(np.asarray(classes, dtype=object))
+        atoms = pool.atoms(np.repeat(site_ids, k), np.tile(label_ids, n))
+        offsets = np.arange(n + 1, dtype=np.int64) * k
+        return pool.add_segments(np.tile(class_values, n), atoms, offsets)
 
     def __repr__(self) -> str:
         return f"{self.model_name}.predict({self.features.name})"
@@ -263,6 +338,124 @@ class Cmp(Expr):
             "only direct comparisons of predict(...) are supported in WHERE",
             feature="cmp-over-predict",
         )
+
+    def symbolic_bool_nodes(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> np.ndarray:
+        left_model = self.left.depends_on_model()
+        right_model = self.right.depends_on_model()
+        if not left_model and not right_model:
+            return super().symbolic_bool_nodes(batch, runtime)
+        if isinstance(self.left, ModelPredict) and not right_model:
+            return self._predict_vs_values_nodes(
+                self.left, self.right, self.op, batch, runtime
+            )
+        if isinstance(self.right, ModelPredict) and not left_model:
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(self.op, self.op)
+            return self._predict_vs_values_nodes(
+                self.right, self.left, flipped, batch, runtime
+            )
+        if isinstance(self.left, ModelPredict) and isinstance(self.right, ModelPredict):
+            return self._predict_vs_predict_nodes(batch, runtime)
+        raise UnsupportedQueryError(
+            f"comparison {self!r} mixes predictions into arithmetic; "
+            "only direct comparisons of predict(...) are supported in WHERE",
+            feature="cmp-over-predict",
+        )
+
+    def _predict_vs_values_nodes(
+        self,
+        predict: ModelPredict,
+        other: Expr,
+        op: str,
+        batch: TupleBatch,
+        runtime: QueryRuntime,
+    ) -> np.ndarray:
+        pool = runtime.pool
+        classes = runtime.model_classes(predict.model_name)
+        site_ids = np.asarray(predict.site_ids(batch, runtime), dtype=np.int64)
+        values = np.asarray(other.eval(batch, runtime))
+        compare = _COMPARATORS[op]
+        n, k = site_ids.shape[0], len(classes)
+        # matches[row, class]: does predicting this class satisfy the filter?
+        matches = np.zeros((n, k), dtype=bool)
+        for column, label in enumerate(classes):
+            matches[:, column] = _safe_compare_array(compare, label, values)
+        from .compile import TRUE_NODE
+
+        label_ids = pool.intern_labels(np.asarray(classes, dtype=object))
+        all_true = matches.all(axis=1)
+        # Exhaustive rows fold to TRUE outright; build atoms only for the rest.
+        matches[all_true] = False
+        flat = matches.ravel()
+        atoms = pool.atoms(
+            np.repeat(site_ids, k)[flat], np.tile(label_ids, n)[flat]
+        )
+        offsets = np.concatenate([[0], np.cumsum(matches.sum(axis=1))]).astype(np.int64)
+        out = pool.or_segments(atoms, offsets)
+        out[all_true] = TRUE_NODE  # exhaustive classes: always satisfied
+        return out
+
+    def _predict_vs_predict_nodes(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> np.ndarray:
+        from .compile import TRUE_NODE
+
+        pool = runtime.pool
+        left: ModelPredict = self.left  # type: ignore[assignment]
+        right: ModelPredict = self.right  # type: ignore[assignment]
+        left_classes = runtime.model_classes(left.model_name)
+        right_classes = runtime.model_classes(right.model_name)
+        left_sites = np.asarray(left.site_ids(batch, runtime), dtype=np.int64)
+        right_sites = np.asarray(right.site_ids(batch, runtime), dtype=np.int64)
+        compare = _COMPARATORS[self.op]
+        out = np.empty(left_sites.shape[0], dtype=np.int64)
+
+        same = left_sites == right_sites
+        if np.any(same):
+            # predict(x) op predict(x): one shared site per row.
+            matching = [c for c in left_classes if _safe_compare(compare, c, c)]
+            if len(matching) == len(left_classes):
+                out[same] = TRUE_NODE
+            else:
+                sites = left_sites[same]
+                label_ids = pool.intern_labels(np.asarray(matching, dtype=object))
+                k = len(matching)
+                atoms = pool.atoms(np.repeat(sites, k), np.tile(label_ids, sites.shape[0]))
+                offsets = np.arange(sites.shape[0] + 1, dtype=np.int64) * k
+                out[same] = pool.or_segments(atoms, offsets)
+        diff = ~same
+        if np.any(diff):
+            pairs = [
+                (lc, rc)
+                for lc in left_classes
+                for rc in right_classes
+                if _safe_compare(compare, lc, rc)
+            ]
+            n_diff = int(np.count_nonzero(diff))
+            if not pairs:
+                offsets = np.zeros(n_diff + 1, dtype=np.int64)
+                out[diff] = pool.or_segments(np.empty(0, dtype=np.int64), offsets)
+            else:
+                k = len(pairs)
+                left_label_ids = pool.intern_labels(
+                    np.asarray([lc for lc, _ in pairs], dtype=object)
+                )
+                right_label_ids = pool.intern_labels(
+                    np.asarray([rc for _, rc in pairs], dtype=object)
+                )
+                left_atoms = pool.atoms(
+                    np.repeat(left_sites[diff], k),
+                    np.tile(left_label_ids, n_diff),
+                )
+                right_atoms = pool.atoms(
+                    np.repeat(right_sites[diff], k),
+                    np.tile(right_label_ids, n_diff),
+                )
+                conj = pool.and2(left_atoms, right_atoms)
+                offsets = np.arange(n_diff + 1, dtype=np.int64) * k
+                out[diff] = pool.or_segments(conj, offsets)
+        return out
 
     def _predict_vs_values(
         self,
@@ -330,6 +523,23 @@ def _safe_compare(compare, left, right) -> bool:
         return False
 
 
+def _safe_compare_array(compare, label, values: np.ndarray) -> np.ndarray:
+    """Vectorized ``_safe_compare(compare, label, value)`` over a column."""
+    try:
+        result = np.asarray(compare(label, values))
+        if result.shape == values.shape and result.dtype == np.bool_:
+            return result
+    except TypeError:
+        pass
+    # numpy raised on, or collapsed, an incomparable pairing; fall back to
+    # the per-element safe comparison (matching the tree reference, which
+    # folds only the genuinely incomparable elements to False).
+    return np.asarray(
+        [_safe_compare(compare, label, value) for value in values.tolist()],
+        dtype=bool,
+    )
+
+
 class BoolAnd(Expr):
     """N-ary conjunction."""
 
@@ -352,6 +562,14 @@ class BoolAnd(Expr):
     ) -> list[prov.BoolExpr]:
         parts = [child.symbolic_bool(batch, runtime) for child in self._children]
         return [prov.and_(*row_parts) for row_parts in zip(*parts)]
+
+    def symbolic_bool_nodes(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> np.ndarray:
+        parts = [child.symbolic_bool_nodes(batch, runtime) for child in self._children]
+        flat = np.stack(parts, axis=1).ravel()
+        offsets = np.arange(len(batch) + 1, dtype=np.int64) * len(parts)
+        return runtime.pool.and_segments(flat, offsets)
 
     def __repr__(self) -> str:
         return "(" + " AND ".join(map(repr, self._children)) + ")"
@@ -380,6 +598,14 @@ class BoolOr(Expr):
         parts = [child.symbolic_bool(batch, runtime) for child in self._children]
         return [prov.or_(*row_parts) for row_parts in zip(*parts)]
 
+    def symbolic_bool_nodes(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> np.ndarray:
+        parts = [child.symbolic_bool_nodes(batch, runtime) for child in self._children]
+        flat = np.stack(parts, axis=1).ravel()
+        offsets = np.arange(len(batch) + 1, dtype=np.int64) * len(parts)
+        return runtime.pool.or_segments(flat, offsets)
+
     def __repr__(self) -> str:
         return "(" + " OR ".join(map(repr, self._children)) + ")"
 
@@ -400,6 +626,11 @@ class BoolNot(Expr):
         self, batch: TupleBatch, runtime: QueryRuntime
     ) -> list[prov.BoolExpr]:
         return [prov.not_(cond) for cond in self.child.symbolic_bool(batch, runtime)]
+
+    def symbolic_bool_nodes(
+        self, batch: TupleBatch, runtime: QueryRuntime
+    ) -> np.ndarray:
+        return runtime.pool.not_(self.child.symbolic_bool_nodes(batch, runtime))
 
     def __repr__(self) -> str:
         return f"NOT {self.child!r}"

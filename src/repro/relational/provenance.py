@@ -29,6 +29,32 @@ Both support:
 Constructor helpers (:func:`and_`, :func:`or_`, :func:`not_`) fold constants
 eagerly so deterministic sub-predicates disappear from the polynomial and
 the remaining expression mentions only genuine prediction atoms.
+
+Two evaluation paths
+--------------------
+
+The object trees in this module are the *interpreted* path: one Python
+object per operator, evaluated by recursion.  They remain the readable,
+golden-reference semantics — randomized equivalence tests pin the compiled
+path to them.  The *compiled* path (:mod:`repro.relational.compile`) lowers
+the same polynomials into flat index arrays (opcode / CSR-children /
+coefficient / atom-site columns) and evaluates **all** of a query's
+conditions and aggregate cells in one batched numpy sweep; the debug-mode
+executor emits provenance directly in that form and materializes trees
+from it lazily when a consumer asks for one.
+
+Worked example: the count query ``SELECT COUNT(*) FROM R WHERE
+predict(x) = 'match'`` over rows {0, 1, 2} yields, per row, the existence
+condition ``PredIs(i, 'match')`` and the aggregate cell
+
+    ``LinearSum([(1.0, PredIs(0, 'match')), (1.0, PredIs(1, 'match')),
+    (1.0, PredIs(2, 'match'))])``
+
+Interpreted, ``cell.evaluate({0: 'match', 1: 'nonmatch', 2: 'match'})``
+recurses over the three terms and returns ``2.0``; compiled, the same cell
+is an ``OP_ADD`` node whose children array holds three atom node ids, and
+evaluation is a single ``np.add.reduceat`` over the gathered atom values —
+for every output cell of the query at once.
 """
 
 from __future__ import annotations
@@ -73,34 +99,117 @@ class InferenceSite:
 
 
 class SiteRegistry:
-    """Deduplicating registry of inference sites for one query execution."""
+    """Deduplicating registry of inference sites for one query execution.
+
+    Sites are stored columnar: contiguous *runs* of site ids share one
+    (model, relation) pair, with a dense ``row_id -> site_id`` map per pair
+    for O(1) vectorized interning (:meth:`intern_batch`).  The
+    :class:`InferenceSite` objects of the original API are materialized
+    lazily — hot paths only ever touch the integer arrays.
+    """
 
     def __init__(self) -> None:
-        self._by_key: dict[tuple[str, str, int], InferenceSite] = {}
-        self._sites: list[InferenceSite] = []
+        # One (start_site_id, model, relation) record per contiguous run.
+        self._runs: list[tuple[int, str, str]] = []
+        self._run_rows: list[np.ndarray] = []
+        self._n = 0
+        self._dense: dict[tuple[str, str], np.ndarray] = {}
+        self._cache: dict[int, InferenceSite] = {}
+
+    def _dense_for(
+        self, model_name: str, relation_name: str, min_size: int
+    ) -> np.ndarray:
+        from ..utils import grow_array  # local import: utils is a leaf module
+
+        key = (model_name, relation_name)
+        table = self._dense.get(key)
+        if table is None:
+            table = np.full(0, -1, dtype=np.int64)
+        table = grow_array(table, min_size, fill=-1)
+        self._dense[key] = table
+        return table
+
+    def intern_batch(
+        self, model_name: str, relation_name: str, row_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Intern many rows at once.
+
+        Returns ``(site_ids, new_rows, first_new_site_id)`` where
+        ``new_rows`` are the (sorted, unique) base rows that had no site
+        yet; their sites are ``first_new_site_id + arange(len(new_rows))``.
+        """
+        row_ids = np.asarray(row_ids, dtype=np.int64)
+        if row_ids.size == 0:
+            return row_ids.copy(), row_ids.copy(), self._n
+        table = self._dense_for(model_name, relation_name, int(row_ids.max()) + 1)
+        sites = table[row_ids]
+        first_new = self._n
+        missing = sites < 0
+        if np.any(missing):
+            new_rows = np.unique(row_ids[missing])
+            table[new_rows] = np.arange(
+                self._n, self._n + new_rows.size, dtype=np.int64
+            )
+            self._runs.append((self._n, model_name, relation_name))
+            self._run_rows.append(new_rows)
+            self._n += new_rows.size
+            sites = table[row_ids]
+        else:
+            new_rows = np.empty(0, dtype=np.int64)
+        return sites, new_rows, first_new
 
     def intern(self, model_name: str, relation_name: str, row_id: int) -> InferenceSite:
         """Return the existing site for this key, or create a new one."""
-        key = (model_name, relation_name, int(row_id))
-        site = self._by_key.get(key)
-        if site is None:
-            site = InferenceSite(len(self._sites), model_name, relation_name, int(row_id))
-            self._by_key[key] = site
-            self._sites.append(site)
-        return site
+        sites, _, _ = self.intern_batch(
+            model_name, relation_name, np.asarray([int(row_id)], dtype=np.int64)
+        )
+        return self[int(sites[0])]
 
     def __len__(self) -> int:
-        return len(self._sites)
+        return self._n
 
     def __iter__(self):
-        return iter(self._sites)
+        return (self[site_id] for site_id in range(self._n))
 
     def __getitem__(self, site_id: int) -> InferenceSite:
-        return self._sites[site_id]
+        site_id = int(site_id)
+        site = self._cache.get(site_id)
+        if site is None:
+            if not 0 <= site_id < self._n:
+                raise IndexError(f"site id {site_id} out of range [0, {self._n})")
+            run_index = _run_of(self._runs, site_id)
+            start, model_name, relation_name = self._runs[run_index]
+            row_id = int(self._run_rows[run_index][site_id - start])
+            site = InferenceSite(site_id, model_name, relation_name, row_id)
+            self._cache[site_id] = site
+        return site
 
     @property
     def sites(self) -> list[InferenceSite]:
-        return list(self._sites)
+        return [self[site_id] for site_id in range(self._n)]
+
+    def runs(self) -> Iterable[tuple[int, str, str, np.ndarray]]:
+        """Yield ``(start_site_id, model, relation, row_ids)`` per run."""
+        for (start, model_name, relation_name), rows in zip(
+            self._runs, self._run_rows
+        ):
+            yield start, model_name, relation_name, rows
+
+    def model_names(self) -> set[str]:
+        """Distinct model names across all sites (no object materialization)."""
+        return {model_name for _, model_name, _ in self._runs}
+
+
+def _run_of(runs: Sequence[tuple[int, str, str]], site_id: int) -> int:
+    """Index of the run containing ``site_id`` (runs start sorted)."""
+    low, high = 0, len(runs) - 1
+    while low < high:
+        mid = (low + high + 1) // 2
+        if runs[mid][0] <= site_id:
+            low = mid
+        else:
+            high = mid - 1
+    return low
 
 
 # ---------------------------------------------------------------------------

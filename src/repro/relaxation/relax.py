@@ -16,6 +16,14 @@ polynomials relax linearly (COUNT → Σ p, SUM → Σ coeff·p, AVG → ratio).
 shape ``(n_sites, n_classes)`` and returns both the value and ``∂value/∂P``
 via one reverse sweep over the expression DAG.  Composed with the model's
 probability VJP this yields ``∇_θ q(θ)`` for influence analysis.
+
+This per-tree interpreter is the *golden reference* for the relaxation
+semantics.  The production path
+(:class:`~repro.relational.compile.CompiledProvenance`, used by
+:class:`~repro.relaxation.objective.RelaxedComplaintObjective` by default)
+evaluates every complaint polynomial of a query in one level-batched numpy
+sweep and is pinned to this implementation by randomized equivalence tests
+(values and gradients within 1e-9).
 """
 
 from __future__ import annotations

@@ -25,6 +25,23 @@ def as_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def grow_array(array: np.ndarray, min_size: int, fill=0) -> np.ndarray:
+    """Amortized-doubling growth of a 1-d array, preserving the prefix.
+
+    Returns ``array`` unchanged when it is already large enough; otherwise
+    a new array of at least ``min_size`` (and at least double the old
+    capacity, floor 16) filled with ``fill`` beyond the copied prefix.
+    The dense caches of the runtime, site registry, node pool, and ILP
+    model all share this growth policy.
+    """
+    if array.shape[0] >= min_size:
+        return array
+    size = max(min_size, 2 * array.shape[0], 16)
+    grown = np.full(size, fill, dtype=array.dtype)
+    grown[: array.shape[0]] = array
+    return grown
+
+
 def check_1d(array: np.ndarray, name: str) -> np.ndarray:
     """Validate that ``array`` is one dimensional and return it as ndarray."""
     out = np.asarray(array)

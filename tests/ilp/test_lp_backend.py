@@ -1,0 +1,129 @@
+"""Persistent HiGHS LP backend vs. the scipy ``linprog`` reference.
+
+The cold persistent backend must return the same optimal vertices as the
+per-call reference (both are HiGHS underneath), so branch & bound and the
+optimum enumeration behave bit-identically across backends.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ILPError, InfeasibleError
+from repro.ilp.model import BinaryProgram
+from repro.ilp.solver import (
+    PersistentLP,
+    _highs_core,
+    _lp_relaxation,
+    enumerate_optima,
+    solve,
+)
+
+pytestmark = pytest.mark.skipif(
+    _highs_core is None, reason="HiGHS bindings unavailable"
+)
+
+
+def flip_program(n=6, target=2):
+    """Minimize flips subject to Σ x_i = target (highly degenerate)."""
+    program = BinaryProgram()
+    for index in range(n):
+        program.add_var(f"x{index}")
+    program.set_objective({index: 1.0 for index in range(n)})
+    program.add_constraint({index: 1.0 for index in range(n)}, "=", float(target))
+    return program
+
+
+def mixed_program():
+    program = BinaryProgram()
+    for index in range(4):
+        program.add_var(f"x{index}")
+    program.set_objective({0: 2.0, 1: 1.0, 2: 3.0, 3: 1.0}, constant=0.5)
+    program.add_constraint({0: 1.0, 1: 1.0}, ">=", 1.0)
+    program.add_constraint({2: 1.0, 3: 1.0}, ">=", 1.0)
+    program.add_constraint({0: 1.0, 2: 1.0, 3: -1.0}, "<=", 1.0)
+    return program
+
+
+class TestVertexParity:
+    @pytest.mark.parametrize("fixed", [{}, {0: 1}, {1: 0, 3: 1}])
+    def test_cold_persistent_matches_linprog(self, fixed):
+        program = mixed_program()
+        reference = _lp_relaxation(program, fixed)
+        persistent = PersistentLP(program).solve_relaxation(fixed)
+        assert (reference is None) == (persistent is None)
+        if reference is not None:
+            assert persistent[0] == pytest.approx(reference[0], abs=1e-8)
+            np.testing.assert_allclose(persistent[1], reference[1], atol=1e-8)
+
+    def test_bounds_restored_after_solve(self):
+        program = mixed_program()
+        lp = PersistentLP(program)
+        lp.solve_relaxation({0: 1})
+        no_pin = lp.solve_relaxation({})
+        reference = _lp_relaxation(program, {})
+        np.testing.assert_allclose(no_pin[1], reference[1], atol=1e-8)
+
+    def test_infeasible_returns_none(self):
+        program = BinaryProgram()
+        program.add_var("x")
+        program.add_constraint({0: 1.0}, ">=", 2.0)
+        assert PersistentLP(program).solve_relaxation({}) is None
+
+
+class TestBackendEquivalence:
+    def test_solve_agrees_across_backends(self):
+        program = mixed_program()
+        fast = solve(program, lp_backend="highs")
+        slow = solve(program, lp_backend="linprog")
+        assert fast.objective == pytest.approx(slow.objective)
+        np.testing.assert_array_equal(fast.values, slow.values)
+
+    def test_enumeration_sequence_identical(self):
+        program = flip_program(n=6, target=2)
+        fast = enumerate_optima(program, max_solutions=10, lp_backend="highs")
+        slow = enumerate_optima(program, max_solutions=10, lp_backend="linprog")
+        assert len(fast) == len(slow)
+        for a, b in zip(fast, slow):
+            assert a.objective == pytest.approx(b.objective)
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ILPError):
+            solve(mixed_program(), lp_backend="gurobi")
+
+    def test_infeasible_program_raises(self):
+        program = BinaryProgram()
+        program.add_var("x")
+        program.add_constraint({0: 1.0}, ">=", 2.0)
+        with pytest.raises(InfeasibleError):
+            solve(program, lp_backend="highs")
+
+
+class TestProgramPlumbing:
+    def test_dense_constraint_matches_dict_form(self):
+        sparse = flip_program()
+        dense = flip_program()
+        values = np.asarray([1.0, -1.0, 0.0, 2.0, 0.0, -1.0])
+        sparse.add_constraint(
+            {i: v for i, v in enumerate(values) if v != 0.0}, ">=", -1.0
+        )
+        dense.add_dense_constraint(values, ">=", -1.0)
+        assert sparse.constraints[-1] == dense.constraints[-1]
+        for a, b in zip(sparse.rows(), dense.rows()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_clone_is_independent(self):
+        program = flip_program()
+        copy = program.clone()
+        copy.add_constraint({0: 1.0}, "=", 1.0)
+        assert len(copy.constraints) == len(program.constraints) + 1
+        x = np.asarray([0, 1, 1, 0, 0, 0])
+        assert program.is_feasible(x)
+        assert not copy.is_feasible(x)
+
+    def test_vectorized_feasibility(self):
+        program = mixed_program()
+        assert program.is_feasible(np.asarray([1, 0, 0, 1]))
+        assert not program.is_feasible(np.asarray([0, 0, 0, 1]))
+        program.fix(1, 1)
+        assert not program.is_feasible(np.asarray([1, 0, 0, 1]))
