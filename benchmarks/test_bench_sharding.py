@@ -1,0 +1,31 @@
+"""Sharded multi-query serving: determinism contract + wall-clock speedup.
+
+The fig8 Adult substrate scaled to a serving workload: one complaint case
+per aggregate group of Q6/Q7 (12 cases over 2 distinct plans).  The bench
+pins the two acceptance properties of the serving layer:
+
+- removal orders at every worker count are IDENTICAL to the serial loop;
+- the sharded run is at least 2x faster at 4 workers, from plan-fingerprint
+  dedup (C case executions collapse to P distinct-plan executions per
+  iteration, shared probability matrices per result) plus the worker pool.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import serving
+
+
+def test_bench_sharding(benchmark, out_dir):
+    result = benchmark.pedantic(
+        serving.run,
+        kwargs={"n_workers_grid": (0, 2, 4), "n_query": 2000,
+                "max_removals": 20},
+        rounds=1, iterations=1,
+    )
+    save_and_print(result, out_dir)
+
+    for row in result.rows:
+        assert row["order_matches_serial"], row
+    sharded = result.row_lookup(n_workers=4)
+    assert sharded["distinct_plans"] == 2
+    assert sharded["speedup"] >= 2.0, sharded

@@ -9,6 +9,14 @@ from .metrics import (
 )
 from .interventions import RelabelDebugger
 from .rain import DebugReport, IterationRecord, RainDebugger
+from .sharding import (
+    ExecuteStats,
+    execute_cases,
+    fixed_shards,
+    resolve_workers,
+    run_sharded,
+    spawn_generators,
+)
 from .rankers import (
     HolisticRanker,
     InfLossRanker,
@@ -30,6 +38,12 @@ __all__ = [
     "IterationRecord",
     "RainDebugger",
     "RelabelDebugger",
+    "ExecuteStats",
+    "execute_cases",
+    "fixed_shards",
+    "resolve_workers",
+    "run_sharded",
+    "spawn_generators",
     "HolisticRanker",
     "InfLossRanker",
     "IterationContext",

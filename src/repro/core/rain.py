@@ -26,6 +26,16 @@ and by row-slicing when only records were deleted.
 The ``method="auto"`` heuristic matches Section 5.1: probe the TwoStep ILP
 for the number of optimal solutions; if the fix is unique, use TwoStep,
 otherwise use Holistic.
+
+Multi-query serving: with ``n_workers >= 1`` (or ``REPRO_N_WORKERS`` set)
+the execute stage dedupes executions by plan fingerprint — each distinct
+query runs once per iteration and its compiled provenance pool is frozen
+once and shared across all cases over that plan — and shard-aware rankers
+fan per-case encode/solve work out to a thread pool
+(:mod:`~repro.core.sharding`).  Worker count never changes removal
+orders: shard partitions are worker-invariant and the run RNG is only
+consumed on the driver thread in case order.  ``provenance="tree"`` is
+the golden reference path and always runs serially.
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ from ..relational.schema import Database
 from ..relational.sql import plan_sql
 from ..utils import Stopwatch, argsort_desc, as_rng
 from .rankers import IterationContext, Ranker, WarmStartState, make_ranker
+from .sharding import execute_cases, resolve_workers
 
 
 @dataclass
@@ -105,6 +116,8 @@ class RainDebugger:
         cg_tol: float = 1e-8,
         warm_start_cg: bool = True,
         provenance: str = "compiled",
+        n_workers: int | None = None,
+        shard: str = "cases",
     ) -> None:
         if not cases and method in ("auto", "twostep", "holistic"):
             raise DebuggingError(
@@ -136,6 +149,18 @@ class RainDebugger:
                 f"provenance must be 'compiled' or 'tree', got {provenance!r}"
             )
         self.provenance = provenance
+        if shard != "cases":
+            raise DebuggingError(
+                f"shard must be 'cases' (the only supported axis), got {shard!r}"
+            )
+        self.shard = shard
+        # Sharded serving: 0 = the serial loop (untouched), >= 1 = the
+        # worker-pool path (None defers to REPRO_N_WORKERS).  The tree
+        # representation is the golden reference and never shares or
+        # dedupes executions, so it pins the worker count to 0.
+        self.n_workers = resolve_workers(n_workers)
+        if self.provenance == "tree":
+            self.n_workers = 0
         # Per-sample gradients survive across iterations while θ* is
         # unchanged; top-k deletions only slice rows out of the cached matrix.
         self._grad_cache = PerSampleGradCache()
@@ -221,16 +246,29 @@ class RainDebugger:
                 )
 
             with watch.time("execute"):
-                case_results: list[tuple[ComplaintCase, QueryResult]] = []
-                for case, plan in zip(self.cases, self._plans):
-                    case_results.append(
-                        (
-                            case,
-                            self.executor.execute(
-                                plan, debug=True, provenance=self.provenance
-                            ),
-                        )
+                execute_stats = None
+                if self.n_workers >= 1:
+                    # Sharded serving: one execution per distinct plan
+                    # fingerprint, shared across its cases; distinct plans
+                    # run on the worker pool.
+                    case_results, execute_stats = execute_cases(
+                        self.executor,
+                        self.cases,
+                        self._plans,
+                        self.provenance,
+                        self.n_workers,
                     )
+                else:
+                    case_results: list[tuple[ComplaintCase, QueryResult]] = []
+                    for case, plan in zip(self.cases, self._plans):
+                        case_results.append(
+                            (
+                                case,
+                                self.executor.execute(
+                                    plan, debug=True, provenance=self.provenance
+                                ),
+                            )
+                        )
 
             satisfied = bool(case_results) and all_satisfied(case_results)
             if self.stop_when_satisfied and satisfied:
@@ -253,7 +291,10 @@ class RainDebugger:
                 rng=self.rng,
                 watch=watch,
                 warm_start=warm,
+                n_workers=self.n_workers,
             )
+            if execute_stats is not None:
+                context.diagnostics["execute_cache"] = execute_stats.as_dict()
             scores = np.asarray(ranker.scores(context), dtype=np.float64)
             if scores.shape != (active.shape[0],):
                 raise DebuggingError(

@@ -32,8 +32,13 @@ from ..ilp.encode import TiresiasEncoder
 from ..ilp.solver import enumerate_optima, pick_solution
 from ..influence.functions import InfluenceAnalyzer, q_grad_for_target_predictions
 from ..relational.executor import QueryResult
-from ..relaxation.objective import RelaxedComplaintObjective
+from ..relaxation.objective import (
+    RelaxedComplaintObjective,
+    batched_case_objectives,
+    batched_q_and_grads,
+)
 from ..utils import Stopwatch
+from .sharding import fixed_shards, run_sharded
 
 
 @dataclass
@@ -45,9 +50,15 @@ class WarmStartState:
     solution with one column per active record, kept aligned with the active
     set by the driver (it deletes the removed records' columns each
     iteration); ``q_block`` is the previous per-case block solution of
-    Holistic's ``per_query_solves`` path, one row per complaint case (cases
-    are fixed for a run, so no realignment is needed).  Rankers read these
-    as CG starting points and write the new solutions back in place.
+    Holistic's ``per_query_solves`` path, one row per complaint case, kept
+    aligned with the case list via :meth:`drop_cases` when a case is pruned
+    mid-run.  Rankers read these as CG starting points and write the new
+    solutions back in place; the sharded serving path row-slices ``q_block``
+    per solve shard and writes the merged rows back in case order.
+
+    Warm starts are accelerators, not state the results depend on: every
+    consumer shape-checks before seeding, and any stale array degrades to a
+    cold solve rather than a wrong one.
     """
 
     u: np.ndarray | None = None
@@ -55,14 +66,52 @@ class WarmStartState:
     q_block: np.ndarray | None = None
 
     def drop_columns(self, positions: np.ndarray) -> None:
-        """Forget the block columns of just-removed records."""
-        if self.block is not None:
-            self.block = np.delete(self.block, positions, axis=1)
+        """Forget the block columns of just-removed records.
+
+        An empty ``positions`` array is a no-op (``np.delete`` would other-
+        wise still copy, and float positions from an empty ``argsort`` slice
+        used to raise); indices are normalized to int64 first.
+        """
+        if self.block is None:
+            return
+        positions = np.asarray(positions)
+        if positions.size == 0:
+            return
+        self.block = np.delete(self.block, positions.astype(np.int64), axis=1)
+
+    def drop_cases(self, case_positions: np.ndarray) -> None:
+        """Forget the ``q_block`` rows of pruned complaint cases.
+
+        Keeps the per-case warm block aligned when the driver removes a
+        case mid-run (e.g. one that became infeasible); remaining rows keep
+        warm-starting their cases.
+        """
+        if self.q_block is None:
+            return
+        case_positions = np.asarray(case_positions)
+        if case_positions.size == 0:
+            return
+        self.q_block = np.delete(
+            self.q_block, case_positions.astype(np.int64), axis=0
+        )
+
+    def q_block_for(self, n_cases: int, n_params: int) -> np.ndarray | None:
+        """The per-case warm block, or ``None`` unless shapes line up."""
+        if self.q_block is not None and self.q_block.shape == (n_cases, n_params):
+            return self.q_block
+        return None
 
 
 @dataclass
 class IterationContext:
-    """Everything a ranker may need for one train-rank-fix iteration."""
+    """Everything a ranker may need for one train-rank-fix iteration.
+
+    ``n_workers`` is the serving layer's worker-pool size: ``0`` keeps
+    every ranker on its serial code path; ``>= 1`` lets shard-aware
+    rankers fan per-case work out to threads.  Worker count never changes
+    scores — shard partitions are worker-invariant and all RNG consumption
+    stays on the driver thread in case order.
+    """
 
     model: object
     X_active: np.ndarray
@@ -73,6 +122,7 @@ class IterationContext:
     watch: Stopwatch
     diagnostics: dict = field(default_factory=dict)
     warm_start: WarmStartState | None = None
+    n_workers: int = 0
 
 
 class Ranker:
@@ -146,38 +196,59 @@ class HolisticRanker(Ranker):
     matches the summed-gradient solve) and recorded in the iteration
     diagnostics for per-query attribution.  The default sums the gradients
     first and issues one scalar solve — the paper's formulation.
+
+    Serving-layer sharding: when the context carries ``n_workers >= 1``
+    the per-case relaxation sweeps fan out to the worker pool (cases
+    sharing a query result also share one probability-matrix evaluation),
+    and ``solve_shard_size=k`` splits the per-case block-CG rows into
+    fixed-size shards solved per worker, each warm-started from its slice
+    of ``q_block``.  The shard partition depends only on the case count —
+    never on ``n_workers`` — because splitting a GEMM by columns changes
+    output bits; with a worker-invariant partition every worker count
+    produces identical scores (and the serial ``n_workers=0`` loop runs
+    the very same shard solves in order).
     """
 
     name = "holistic"
 
-    def __init__(self, per_query_solves: bool = False) -> None:
+    def __init__(
+        self,
+        per_query_solves: bool = False,
+        solve_shard_size: int | None = None,
+    ) -> None:
+        if solve_shard_size is not None and solve_shard_size <= 0:
+            raise DebuggingError(
+                f"solve_shard_size must be positive, got {solve_shard_size}"
+            )
         self.per_query_solves = bool(per_query_solves)
+        self.solve_shard_size = solve_shard_size
 
     def scores(self, ctx: IterationContext) -> np.ndarray:
         with ctx.watch.time("encode"):
-            q_grads = []
-            q_total = 0.0
-            for case, result in ctx.case_results:
-                objective = RelaxedComplaintObjective(result, case.complaints)
-                q_value, q_grad = objective.q_and_grad_theta()
-                q_grads.append(q_grad)
-                q_total += q_value
+            if ctx.n_workers >= 1:
+                objectives = batched_case_objectives(ctx.case_results)
+                q_values, q_grads = batched_q_and_grads(
+                    objectives, n_workers=ctx.n_workers
+                )
+                q_total = 0.0
+                for q_value in q_values:
+                    q_total += q_value
+            else:
+                q_grads = []
+                q_total = 0.0
+                for case, result in ctx.case_results:
+                    objective = RelaxedComplaintObjective(result, case.complaints)
+                    q_value, q_grad = objective.q_and_grad_theta()
+                    q_grads.append(q_grad)
+                    q_total += q_value
             ctx.diagnostics["q_value"] = q_total
         with ctx.watch.time("rank"):
             warm = ctx.warm_start
             if self.per_query_solves and len(q_grads) > 1:
-                X0 = None
-                if warm is not None and warm.q_block is not None:
-                    if warm.q_block.shape == (len(q_grads), ctx.model.n_params):
-                        X0 = warm.q_block
-                per_case = ctx.analyzer.scores_from_q_grads(np.stack(q_grads), X0=X0)
+                per_case = self._per_query_block(ctx, np.stack(q_grads), warm)
                 ctx.diagnostics["per_query_score_norms"] = [
                     float(np.linalg.norm(row)) for row in per_case
                 ]
-                if warm is not None:
-                    block = ctx.analyzer.last_block_cg_result
-                    if block is not None:
-                        warm.q_block = block.X.T
                 return per_case.sum(axis=0)
             q_grad = q_grads[0] if len(q_grads) == 1 else np.sum(q_grads, axis=0)
             scores = ctx.analyzer.scores_from_q_grad(
@@ -185,6 +256,45 @@ class HolisticRanker(Ranker):
             )
             _record_scalar_cg(ctx, warm)
             return scores
+
+    def _per_query_block(
+        self,
+        ctx: IterationContext,
+        rows: np.ndarray,
+        warm: WarmStartState | None,
+    ) -> np.ndarray:
+        """The (n_cases, n_active) per-case score matrix, possibly sharded."""
+        n_cases = rows.shape[0]
+        warm_rows = (
+            None if warm is None else warm.q_block_for(n_cases, ctx.model.n_params)
+        )
+        if self.solve_shard_size is None or n_cases <= self.solve_shard_size:
+            per_case = ctx.analyzer.scores_from_q_grads(rows, X0=warm_rows)
+            if warm is not None:
+                block = ctx.analyzer.last_block_cg_result
+                if block is not None:
+                    warm.q_block = block.X.T
+            return per_case
+
+        # Fixed-size row shards (worker-invariant partition); one spawned
+        # analyzer per shard so per-shard CG diagnostics don't race.  The
+        # shared gradient cache is prewarmed on the driver thread first.
+        shards = fixed_shards(n_cases, self.solve_shard_size)
+        ctx.analyzer.per_sample_grads()
+
+        def solve_shard(shard: np.ndarray):
+            analyzer = ctx.analyzer.spawn()
+            X0 = None if warm_rows is None else warm_rows[shard]
+            scores = analyzer.scores_from_q_grads(rows[shard], X0=X0)
+            return scores, analyzer.last_block_cg_result
+
+        outputs = run_sharded(solve_shard, shards, ctx.n_workers)
+        per_case = np.vstack([scores for scores, _ in outputs])
+        blocks = [block for _, block in outputs]
+        if warm is not None and all(block is not None for block in blocks):
+            warm.q_block = np.vstack([block.X.T for block in blocks])
+        ctx.diagnostics["solve_shards"] = len(shards)
+        return per_case
 
 
 def _record_scalar_cg(ctx: IterationContext, warm: WarmStartState | None) -> None:
@@ -253,43 +363,63 @@ class TwoStepRanker(Ranker):
     def _marked_mispredictions(
         self, ctx: IterationContext
     ) -> list[tuple[QueryResult, int, object]]:
-        """(result, site_id, target_label) across all complaint cases."""
+        """(result, site_id, target_label) across all complaint cases.
+
+        Sharding note: with ``ctx.n_workers >= 1`` the per-case ILP
+        enumerations run on the worker pool — they are deterministic pure
+        solves over (already frozen) shared provenance — but the "opaque
+        solver pick" among each case's tied optima stays on the driver
+        thread, consuming ``ctx.rng`` strictly in case order.  The picked
+        solutions, and therefore the marked sites, are identical at every
+        worker count.
+        """
+        enumerations = run_sharded(
+            self._enumerate_case, list(ctx.case_results), ctx.n_workers
+        )
         marked: list[tuple[QueryResult, int, object]] = []
         total_ambiguity = 1
-        for case, result in ctx.case_results:
-            direct = [
-                c for c in case.complaints if isinstance(c, PredictionComplaint)
-            ]
-            indirect = [
-                c for c in case.complaints if not isinstance(c, PredictionComplaint)
-            ]
-            # Direct point complaints are unambiguous: mark them outright.
-            for complaint in direct:
-                if not complaint.is_satisfied(result):
-                    marked.append(
-                        (result, complaint.site_id(result), complaint.label)
-                    )
-            if not indirect:
+        for (case, result), (direct_marks, direct_sites, encoder, solutions) in zip(
+            ctx.case_results, enumerations
+        ):
+            marked.extend(direct_marks)
+            if solutions is None:
                 continue
-            encoder = TiresiasEncoder(result)
-            encoder.add_complaints(case.complaints)  # point complaints pin sites
-            solutions = enumerate_optima(
-                encoder.program,
-                max_solutions=self.ambiguity_cap,
-                node_limit=self.node_limit,
-                time_limit=self.time_limit,
-                lp_backend=self.lp_backend,
-            )
             total_ambiguity *= len(solutions)
             chosen = pick_solution(solutions, ctx.rng)
-            direct_sites = {
-                complaint.site_id(result) for complaint in direct
-            }
             for site_id, label in encoder.marked_mispredictions(chosen):
                 if site_id not in direct_sites:
                     marked.append((result, site_id, label))
         ctx.diagnostics["ambiguity"] = total_ambiguity
         return marked
+
+    def _enumerate_case(self, case_result: tuple[ComplaintCase, QueryResult]):
+        """One case's direct marks plus its enumerated ILP optima (or None)."""
+        case, result = case_result
+        direct = [
+            c for c in case.complaints if isinstance(c, PredictionComplaint)
+        ]
+        indirect = [
+            c for c in case.complaints if not isinstance(c, PredictionComplaint)
+        ]
+        # Direct point complaints are unambiguous: mark them outright.
+        direct_marks = [
+            (result, complaint.site_id(result), complaint.label)
+            for complaint in direct
+            if not complaint.is_satisfied(result)
+        ]
+        direct_sites = {complaint.site_id(result) for complaint in direct}
+        if not indirect:
+            return direct_marks, direct_sites, None, None
+        encoder = TiresiasEncoder(result)
+        encoder.add_complaints(case.complaints)  # point complaints pin sites
+        solutions = enumerate_optima(
+            encoder.program,
+            max_solutions=self.ambiguity_cap,
+            node_limit=self.node_limit,
+            time_limit=self.time_limit,
+            lp_backend=self.lp_backend,
+        )
+        return direct_marks, direct_sites, encoder, solutions
 
     # -- influence step ----------------------------------------------------------
 

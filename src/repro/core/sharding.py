@@ -1,0 +1,191 @@
+"""Sharded multi-query serving: deterministic parallel case execution.
+
+The train-rank-fix loop serves every complaint case through three
+per-iteration stages — query re-execution, provenance/objective
+encoding, and the influence solves — and all three are embarrassingly
+parallel across cases (the per-case rows of Holistic's
+``per_query_solves`` block are independent columns of one CG solve).
+This module supplies the worker pool and the shard bookkeeping the
+driver and rankers use to exploit that, under one hard rule:
+
+**worker count must never change the answer.**  A sharded run with
+``n_workers=4`` must produce removal orders bit-identical to the serial
+loop (``n_workers=0``), which in turn is pinned to the golden reference
+path.  Three design decisions make that hold by construction:
+
+- *Plan-fingerprint dedup, not speculative reuse*: each distinct plan is
+  executed once per iteration (:class:`~repro.relational.executor.ExecutionCache`)
+  and the result shared across its cases.  A compiled debug result is a
+  pure function of (plan, data, model parameters), so sharing it is
+  invisible to every consumer.
+- *Worker-invariant shard partitions*: anything that is solved per shard
+  (the fixed-size slices of Holistic's block-CG rows) is partitioned by a
+  deterministic function of the case count only — never of ``n_workers``.
+  Workers just pick up shards; the math per shard is identical at any
+  worker count.  This is forced by floating point: splitting a GEMM by
+  columns changes reduction shapes and therefore output bits, so a
+  partition derived from ``n_workers`` would make removal orders depend
+  on the worker count through ulp-level score differences.
+- *Driver-side randomness*: no worker ever consumes the run RNG.
+  Stochastic steps (TwoStep's optimum pick) stay on the driver in case
+  order; data-side sampling shards its own seeds via
+  ``np.random.SeedSequence.spawn`` (:func:`spawn_generators`).
+
+Workers are threads, not processes: the heavy kernels (query execution,
+relaxation sweeps, CG) are numpy batch operations that release the GIL,
+results are shared by reference, and the merge is an ordered list — no
+pickling, no nondeterministic reduce.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..complaints.complaint import ComplaintCase
+from ..errors import DebuggingError
+from ..relational.algebra import Plan
+from ..relational.executor import ExecutionCache, Executor, QueryResult
+
+WORKERS_ENV_VAR = "REPRO_N_WORKERS"
+
+
+def resolve_workers(n_workers: int | None) -> int:
+    """Normalize the ``n_workers`` knob.
+
+    ``None`` defers to the ``REPRO_N_WORKERS`` environment variable
+    (default ``0``); ``0`` means the serial loop, untouched; ``>= 1``
+    enables the sharded serving path (``1`` exercises it without real
+    concurrency — useful for pinning shard/serial equivalence).
+    """
+    if n_workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "0")
+        try:
+            n_workers = int(raw)
+        except ValueError:
+            raise DebuggingError(
+                f"{WORKERS_ENV_VAR}={raw!r} is not an integer"
+            ) from None
+    n_workers = int(n_workers)
+    if n_workers < 0:
+        raise DebuggingError(f"n_workers must be >= 0, got {n_workers}")
+    return n_workers
+
+
+def spawn_generators(seed: int, n_shards: int) -> list[np.random.Generator]:
+    """Independent per-shard generators via ``SeedSequence.spawn``.
+
+    Every shard gets its own child stream derived from one root seed, so
+    a shard's draws depend only on (seed, shard index) — never on which
+    worker runs it, in what order, or how many workers exist.
+    """
+    if n_shards <= 0:
+        raise DebuggingError(f"n_shards must be positive, got {n_shards}")
+    children = np.random.SeedSequence(seed).spawn(n_shards)
+    return [np.random.default_rng(child) for child in children]
+
+
+def fixed_shards(n_items: int, shard_size: int) -> list[np.ndarray]:
+    """Contiguous index shards of at most ``shard_size`` items.
+
+    The partition depends only on ``n_items`` and ``shard_size`` — the
+    worker-invariance rule above — so per-shard solves give the same bits
+    at every worker count.
+    """
+    if shard_size <= 0:
+        raise DebuggingError(f"shard_size must be positive, got {shard_size}")
+    return [
+        np.arange(start, min(start + shard_size, n_items), dtype=np.int64)
+        for start in range(0, n_items, shard_size)
+    ]
+
+
+def run_sharded(
+    fn: Callable, items: Sequence, n_workers: int, *args
+) -> list:
+    """Map ``fn`` over ``items`` on the worker pool; ordered merge.
+
+    Results come back indexed by item position regardless of completion
+    order.  ``n_workers <= 1`` runs the plain serial loop (same calls,
+    same order), so the pool is pure transport: it can change wall-clock,
+    never values.
+    """
+    if n_workers <= 1 or len(items) <= 1:
+        return [fn(item, *args) for item in items]
+    with ThreadPoolExecutor(max_workers=min(n_workers, len(items))) as pool:
+        futures = [pool.submit(fn, item, *args) for item in items]
+        return [future.result() for future in futures]
+
+
+@dataclass
+class ExecuteStats:
+    """Per-iteration serving diagnostics for the execute stage."""
+
+    n_cases: int
+    n_distinct_plans: int
+    cache_hits: int
+    cache_misses: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "n_cases": self.n_cases,
+            "n_distinct_plans": self.n_distinct_plans,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+def execute_cases(
+    executor: Executor,
+    cases: Sequence[ComplaintCase],
+    plans: Sequence[Plan],
+    provenance: str,
+    n_workers: int,
+) -> tuple[list[tuple[ComplaintCase, QueryResult]], ExecuteStats]:
+    """Execute every case's query for one iteration, sharded and deduped.
+
+    Cases are grouped by plan fingerprint; each distinct plan is executed
+    once (in parallel across the pool) and its debug result — with the
+    compiled provenance pool frozen on the executing thread — is shared
+    by all cases over that plan.  The returned list is in the original
+    case order, exactly like the serial loop's.
+
+    ``provenance="tree"`` is the golden path: nothing is deduped or
+    shared, each case re-executes serially.
+    """
+    cache = ExecutionCache(executor, provenance=provenance)
+    if not cache.cacheable:
+        case_results = [
+            (case, cache.fetch(plan)) for case, plan in zip(cases, plans)
+        ]
+        stats = ExecuteStats(len(cases), len(cases), 0, len(cases))
+        return case_results, stats
+
+    fingerprints = [cache.fingerprint(plan) for plan in plans]
+    distinct: dict[str, Plan] = {}
+    for fingerprint, plan in zip(fingerprints, plans):
+        distinct.setdefault(fingerprint, plan)
+
+    order = list(distinct.items())
+    run_sharded(
+        lambda entry: cache.fetch(entry[1], fingerprint=entry[0]),
+        order,
+        n_workers,
+    )
+    case_results = [
+        (case, cache.fetch(plan, fingerprint=fingerprint))
+        for case, plan, fingerprint in zip(cases, plans, fingerprints)
+    ]
+    # The per-case fetches above are all hits; only the distinct
+    # executions count as misses.
+    stats = ExecuteStats(
+        n_cases=len(cases),
+        n_distinct_plans=len(distinct),
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+    )
+    return case_results, stats

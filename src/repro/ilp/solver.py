@@ -18,7 +18,11 @@ Two LP backends solve the relaxations:
 - ``"highs-warm"``: same instance, but re-solves warm-start from the
   previous basis — roughly another 5x on the LP time, at the cost of
   possibly landing on *different optimal vertices* than the reference on
-  degenerate LPs, which can permute the enumeration of tied optima.
+  degenerate LPs.  To keep the backend order-stable anyway,
+  :func:`enumerate_optima` canonically sorts a warm enumeration by
+  variable assignment (the optima are tied, so only the order was ever at
+  stake); a complete warm enumeration therefore equals the
+  canonically-sorted cold one.
 - ``"linprog"``: the original per-node ``scipy.optimize.linprog`` call
   that rebuilds dense matrices every time.  Kept as the reference; the
   benchmarks run it to anchor the persistent backend's speedup.
@@ -372,7 +376,25 @@ def enumerate_optima(
         if nxt.objective > optimum + 1e-6:
             break
         solutions.append(nxt)
+    if backend == "highs-warm":
+        return _canonical_order(solutions)
     return solutions
+
+
+def _canonical_order(solutions: list[ILPSolution]) -> list[ILPSolution]:
+    """Lexicographic tie-break over the enumerated (tied-optimal) optima.
+
+    Warm solves reuse the previous basis, so on degenerate LPs they can
+    land on different optimal vertices than a cold solve and *permute* the
+    discovery order of tied optima — removal orders downstream then depend
+    on solver-internal state.  Sorting the complete enumeration by variable
+    assignment (all objectives are equal at the optimum) makes
+    ``lp_backend="highs-warm"`` order-stable: the same solution set always
+    comes back in the same order, matching the canonically-sorted cold
+    enumeration.  Cold backends keep their raw discovery order, which is
+    pinned bit-identical between ``"highs"`` and ``"linprog"``.
+    """
+    return sorted(solutions, key=lambda solution: solution.values.tolist())
 
 
 def pick_solution(

@@ -106,6 +106,41 @@ class Aggregate(Plan):
             raise QueryError("aggregate node needs at least one aggregate")
 
 
+def plan_fingerprint(plan: Plan) -> str:
+    """Canonical structural fingerprint of a plan.
+
+    Two plans share a fingerprint exactly when they are structurally
+    identical (same node tree, same expressions, same aliases), even if
+    they are distinct objects — e.g. the same SQL text parsed twice.  The
+    serving layer keys its per-iteration compiled-provenance cache on this,
+    so complaint cases over the same query share one execution and one
+    frozen :class:`~repro.relational.compile.NodePool` per iteration.
+
+    Expressions contribute through their ``repr``, which every
+    :class:`~repro.relational.expressions.Expr` subclass defines to spell
+    out all of its distinguishing fields.
+    """
+    if isinstance(plan, Scan):
+        return f"Scan({plan.relation_name!r},{plan.alias!r})"
+    if isinstance(plan, Filter):
+        return f"Filter({plan_fingerprint(plan.child)},{plan.predicate!r})"
+    if isinstance(plan, Join):
+        return (
+            f"Join({plan_fingerprint(plan.left)},"
+            f"{plan_fingerprint(plan.right)},{plan.condition!r})"
+        )
+    if isinstance(plan, Project):
+        items = ";".join(f"{expr!r} AS {name!r}" for expr, name in plan.items)
+        return f"Project({plan_fingerprint(plan.child)},[{items}])"
+    if isinstance(plan, Aggregate):
+        keys = ";".join(f"{expr!r} AS {name!r}" for expr, name in plan.group_by)
+        aggs = ";".join(
+            f"{spec.func}({spec.arg!r}) AS {spec.name!r}" for spec in plan.aggregates
+        )
+        return f"Aggregate({plan_fingerprint(plan.child)},[{keys}],[{aggs}])"
+    raise QueryError(f"unknown plan node {type(plan).__name__}")
+
+
 def plan_relations(plan: Plan) -> list[Scan]:
     """All Scan leaves of a plan, in left-to-right order."""
     if isinstance(plan, Scan):

@@ -37,7 +37,16 @@ import numpy as np
 
 from ..errors import ProvenanceError, QueryError
 from . import provenance as prov
-from .algebra import Aggregate, AggSpec, Filter, Join, Plan, Project, Scan
+from .algebra import (
+    Aggregate,
+    AggSpec,
+    Filter,
+    Join,
+    Plan,
+    Project,
+    Scan,
+    plan_fingerprint,
+)
 from .compile import FALSE_NODE, TRUE_NODE, CompiledProvenance, NodePool
 from .context import QueryRuntime, TupleBatch
 from .expressions import BoolAnd, Cmp, Col, Expr, ModelPredict
@@ -1033,3 +1042,60 @@ def _hashable(value):
     if hasattr(value, "item"):
         return value.item()
     return value
+
+
+class ExecutionCache:
+    """Per-iteration debug-execution cache keyed by plan fingerprint.
+
+    The serving layer executes each *distinct* plan once per train-rank-fix
+    iteration and shares the resulting :class:`QueryResult` — including its
+    frozen compiled :class:`~repro.relational.compile.NodePool` — across
+    every complaint case over that plan.  Sharing is semantically
+    transparent: a compiled debug result is a pure function of
+    (plan, data, model parameters), complaint-side consumers only *read*
+    node ids out of the pool, and each case still builds its own
+    :class:`~repro.relational.compile.CompiledProvenance` program over its
+    own complaint roots.
+
+    Only the compiled representation is cacheable; ``provenance="tree"``
+    is the golden reference path and always re-executes per case.
+
+    The cache is scoped to one iteration (model parameters change every
+    iteration), so the driver constructs a fresh one per loop step and
+    accumulates ``hits``/``misses`` for the iteration diagnostics.
+    """
+
+    def __init__(self, executor: Executor, provenance: str = "compiled") -> None:
+        self.executor = executor
+        self.provenance = provenance
+        self.cacheable = provenance == "compiled"
+        self._results: dict[str, QueryResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def fingerprint(self, plan: Plan) -> str:
+        return plan_fingerprint(plan)
+
+    def fetch(self, plan: Plan, fingerprint: str | None = None) -> QueryResult:
+        """The debug-mode result for ``plan``, executed at most once."""
+        if not self.cacheable:
+            self.misses += 1
+            return self.executor.execute(
+                plan, debug=True, provenance=self.provenance
+            )
+        key = fingerprint if fingerprint is not None else plan_fingerprint(plan)
+        cached = self._results.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self.executor.execute(plan, debug=True, provenance=self.provenance)
+        if result.pool is not None:
+            # Prewarm the pool-wide tape on the executing thread so the
+            # per-case programs built later only read immutable arrays.
+            result.pool.ensure_frozen()
+        self._results[key] = result
+        return result
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

@@ -224,11 +224,72 @@ class RelaxedComplaintObjective:
         """``∇_θ q(θ)`` at the current model parameters."""
         return self.q_and_grad_theta()[1]
 
-    def q_and_grad_theta(self) -> tuple[float, np.ndarray]:
-        """``(q(θ), ∇_θ q(θ))`` in one relaxation sweep."""
-        P_rows = self.probabilities()
+    def q_and_grad_theta(
+        self, P_rows: np.ndarray | None = None
+    ) -> tuple[float, np.ndarray]:
+        """``(q(θ), ∇_θ q(θ))`` in one relaxation sweep.
+
+        ``P_rows`` optionally supplies precomputed site probabilities.
+        Cases sharing one debug result see identical sites, so the serving
+        layer computes the matrix once per distinct query result and
+        passes it to every case — the values are exactly what
+        :meth:`probabilities` would return, so this is a pure dedup.
+        """
+        if P_rows is None:
+            P_rows = self.probabilities()
         q, pgrad_rows = self.q_value_and_pgrad(P_rows)
         return q, self.model.prob_vjp(self.X_sites, pgrad_rows)
+
+
+def batched_case_objectives(
+    case_results: Sequence, engine: str = "auto"
+) -> list[RelaxedComplaintObjective]:
+    """One :class:`RelaxedComplaintObjective` per ``(case, result)`` pair.
+
+    Construction stays on the calling thread: on compiled results the
+    complaint roots are *looked up* in the shared (already frozen) pool,
+    never appended, so cases sharing a query result build their programs
+    over one immutable node-array snapshot.
+    """
+    return [
+        RelaxedComplaintObjective(result, case.complaints, engine=engine)
+        for case, result in case_results
+    ]
+
+
+def batched_q_and_grads(
+    objectives: Sequence[RelaxedComplaintObjective],
+    n_workers: int = 0,
+) -> tuple[list[float], list[np.ndarray]]:
+    """``(q, ∇_θ q)`` for every objective, sharded across the worker pool.
+
+    Objectives sharing a query result share its inference sites, so the
+    probability matrix is computed once per distinct result (on the
+    driver thread, in first-appearance order) and handed to each case's
+    relaxation sweep.  The sweeps themselves — forward, seeded backward,
+    ``prob_vjp`` — are pure reads of frozen pools and model parameters,
+    so they fan out to workers and merge back in case order: the returned
+    lists are bit-identical to a serial per-case loop at any worker
+    count.
+    """
+    from ..core.sharding import run_sharded
+
+    shared_P: dict[int, np.ndarray] = {}
+    for objective in objectives:
+        key = id(objective.result)
+        if key not in shared_P:
+            shared_P[key] = objective.probabilities()
+
+    outputs = run_sharded(
+        lambda objective: objective.q_and_grad_theta(
+            P_rows=shared_P[id(objective.result)]
+        ),
+        list(objectives),
+        n_workers,
+    )
+    q_values = [float(q) for q, _ in outputs]
+    q_grads = [grad for _, grad in outputs]
+    return q_values, q_grads
 
 
 def _value_complaint_node(

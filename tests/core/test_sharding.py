@@ -1,0 +1,259 @@
+"""The sharded serving layer's determinism contract.
+
+The hard rule under test: **worker count never changes the answer.**
+Sharded runs (2 and 4 workers) must produce removal orders bit-identical
+to the serial loop on the fig8 multiquery workload, the per-iteration
+plan cache must execute each distinct plan exactly once, and the shard
+bookkeeping helpers must be worker-invariant pure functions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RainDebugger, WarmStartState
+from repro.core.sharding import (
+    execute_cases,
+    fixed_shards,
+    resolve_workers,
+    run_sharded,
+    spawn_generators,
+)
+from repro.errors import DebuggingError
+from repro.experiments.fig8_multiquery import build_adult_setting
+from repro.experiments.serving import build_serving_setting
+from repro.relational import Executor, plan_sql
+from repro.relational.algebra import plan_fingerprint
+from repro.relational.executor import ExecutionCache
+
+
+@pytest.fixture(scope="module")
+def adult_setting():
+    return build_adult_setting(0.5, n_train=200, n_query=300, seed=0)
+
+
+def run_debugger(setting, cases, n_workers, method="holistic", rk=None,
+                 max_removals=20, initial_params=None):
+    if initial_params is not None:
+        setting.model.set_params(initial_params)
+    debugger = RainDebugger(
+        setting.database, "income", setting.X_train, setting.y_corrupted,
+        cases, method=method, rng=0, ranker_kwargs=dict(rk or {}),
+        n_workers=n_workers,
+    )
+    return debugger.run(max_removals=max_removals, k_per_iteration=10)
+
+
+class TestShardedEqualsSerial:
+    """Removal orders are identical at every worker count."""
+
+    def test_holistic_two_and_four_workers(self, adult_setting):
+        setting = adult_setting
+        cases = [setting.gender_case, setting.age_case]
+        initial = setting.model.get_params()
+        serial = run_debugger(setting, cases, 0, initial_params=initial)
+        assert serial.removal_order  # non-degenerate workload
+        for n_workers in (2, 4):
+            sharded = run_debugger(
+                setting, cases, n_workers, initial_params=initial
+            )
+            assert sharded.removal_order == serial.removal_order, n_workers
+
+    def test_per_query_solves_with_solve_shards(self, adult_setting):
+        setting = adult_setting
+        cases = [setting.gender_case, setting.age_case]
+        rk = {"per_query_solves": True, "solve_shard_size": 1}
+        initial = setting.model.get_params()
+        serial = run_debugger(setting, cases, 0, rk=rk, initial_params=initial)
+        for n_workers in (2, 4):
+            sharded = run_debugger(
+                setting, cases, n_workers, rk=rk, initial_params=initial
+            )
+            assert sharded.removal_order == serial.removal_order, n_workers
+            diag = sharded.iterations[0].diagnostics
+            assert diag["solve_shards"] == 2
+
+    def test_twostep_sharded_rng_stays_in_case_order(self, adult_setting):
+        setting = adult_setting
+        cases = [setting.gender_case, setting.age_case]
+        rk = {"ambiguity_cap": 3, "time_limit": 10.0}
+        initial = setting.model.get_params()
+        serial = run_debugger(
+            setting, cases, 0, method="twostep", rk=rk,
+            max_removals=10, initial_params=initial,
+        )
+        sharded = run_debugger(
+            setting, cases, 2, method="twostep", rk=rk,
+            max_removals=10, initial_params=initial,
+        )
+        assert sharded.removal_order == serial.removal_order
+        assert (
+            [r.diagnostics.get("ambiguity") for r in sharded.iterations]
+            == [r.diagnostics.get("ambiguity") for r in serial.iterations]
+        )
+
+    def test_smoke_two_workers_serving_setting(self):
+        """Fast tier-1 smoke: the full serving workload at n_workers=2."""
+        setting = build_serving_setting(0.5, n_train=120, n_query=300, seed=0)
+        initial = setting.model.get_params()
+        sharded = run_debugger(
+            setting, setting.cases, 2, max_removals=10, initial_params=initial
+        )
+        serial = run_debugger(
+            setting, setting.cases, 0, max_removals=10, initial_params=initial
+        )
+        assert sharded.removal_order == serial.removal_order
+        cache = sharded.iterations[0].diagnostics["execute_cache"]
+        assert cache["n_distinct_plans"] == 2
+        assert cache["cache_misses"] == 2
+        assert cache["cache_hits"] == len(setting.cases)
+
+
+class TestExecutionCache:
+    def test_same_plan_executes_once(self, adult_setting):
+        database = adult_setting.database
+        executor = Executor(database)
+        plan_a = plan_sql(
+            "SELECT AVG(predict(*)) FROM adult GROUP BY gender", database
+        )
+        plan_b = plan_sql(
+            "SELECT AVG(predict(*)) FROM adult GROUP BY gender", database
+        )
+        assert plan_a is not plan_b
+        cache = ExecutionCache(executor)
+        result_a = cache.fetch(plan_a)
+        result_b = cache.fetch(plan_b)
+        assert result_a is result_b
+        assert cache.stats() == {"hits": 1, "misses": 1}
+        # The shared pool is frozen exactly once and reused.
+        assert result_a.pool.frozen() is result_b.pool.frozen()
+
+    def test_tree_mode_never_caches(self, adult_setting):
+        executor = Executor(adult_setting.database)
+        plan = plan_sql(
+            "SELECT AVG(predict(*)) FROM adult GROUP BY gender",
+            adult_setting.database,
+        )
+        cache = ExecutionCache(executor, provenance="tree")
+        assert cache.fetch(plan) is not cache.fetch(plan)
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_execute_cases_dedups_and_keeps_case_order(self, adult_setting):
+        setting = adult_setting
+        executor = Executor(setting.database)
+        cases = [setting.gender_case, setting.age_case, setting.gender_case]
+        plans = [plan_sql(case.query, setting.database) for case in cases]
+        case_results, stats = execute_cases(
+            executor, cases, plans, "compiled", n_workers=2
+        )
+        assert [case for case, _ in case_results] == cases
+        assert case_results[0][1] is case_results[2][1]
+        assert case_results[0][1] is not case_results[1][1]
+        assert stats.n_distinct_plans == 2
+        assert stats.cache_misses == 2
+        assert stats.cache_hits == 3
+
+
+class TestPlanFingerprint:
+    def test_same_sql_same_fingerprint(self, adult_setting):
+        database = adult_setting.database
+        sql = "SELECT AVG(predict(*)) FROM adult GROUP BY gender"
+        assert plan_fingerprint(plan_sql(sql, database)) == plan_fingerprint(
+            plan_sql(sql, database)
+        )
+
+    def test_distinct_plans_distinct_fingerprints(self, adult_setting):
+        database = adult_setting.database
+        prints = {
+            plan_fingerprint(plan_sql(sql, database))
+            for sql in (
+                "SELECT AVG(predict(*)) FROM adult GROUP BY gender",
+                "SELECT AVG(predict(*)) FROM adult GROUP BY agedecade",
+                "SELECT COUNT(*) FROM adult WHERE predict(*) = 1",
+                "SELECT COUNT(*) FROM adult GROUP BY gender",
+            )
+        }
+        assert len(prints) == 4
+
+
+class TestShardHelpers:
+    def test_resolve_workers(self, monkeypatch):
+        assert resolve_workers(0) == 0
+        assert resolve_workers(4) == 4
+        monkeypatch.delenv("REPRO_N_WORKERS", raising=False)
+        assert resolve_workers(None) == 0
+        monkeypatch.setenv("REPRO_N_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.setenv("REPRO_N_WORKERS", "nope")
+        with pytest.raises(DebuggingError):
+            resolve_workers(None)
+        with pytest.raises(DebuggingError):
+            resolve_workers(-1)
+
+    def test_tree_provenance_pins_serial(self, adult_setting):
+        setting = adult_setting
+        debugger = RainDebugger(
+            setting.database, "income", setting.X_train, setting.y_corrupted,
+            [setting.gender_case], method="holistic", rng=0,
+            provenance="tree", n_workers=4,
+        )
+        assert debugger.n_workers == 0
+
+    def test_fixed_shards_partition(self):
+        shards = fixed_shards(7, 3)
+        assert [s.tolist() for s in shards] == [[0, 1, 2], [3, 4, 5], [6]]
+        np.testing.assert_array_equal(
+            np.concatenate(shards), np.arange(7)
+        )
+        with pytest.raises(DebuggingError):
+            fixed_shards(7, 0)
+
+    def test_run_sharded_ordered_merge(self):
+        items = list(range(20))
+        assert run_sharded(lambda x: x * x, items, 4) == [
+            x * x for x in items
+        ]
+        assert run_sharded(lambda x: x * x, items, 0) == [
+            x * x for x in items
+        ]
+
+    def test_spawn_generators_worker_invariant(self):
+        draws_a = [g.integers(1000) for g in spawn_generators(7, 4)]
+        draws_b = [g.integers(1000) for g in reversed(spawn_generators(7, 4))]
+        assert draws_a == list(reversed(draws_b))
+
+
+class TestWarmStartStateEdgeCases:
+    def test_drop_columns_empty_is_noop(self):
+        warm = WarmStartState(block=np.arange(12.0).reshape(3, 4))
+        before = warm.block
+        warm.drop_columns(np.asarray([], dtype=np.float64))
+        assert warm.block is before
+
+    def test_drop_columns_float_positions(self):
+        warm = WarmStartState(block=np.arange(12.0).reshape(3, 4))
+        warm.drop_columns(np.asarray([1.0, 3.0]))
+        np.testing.assert_array_equal(
+            warm.block, np.arange(12.0).reshape(3, 4)[:, [0, 2]]
+        )
+
+    def test_drop_cases_realigns_q_block(self):
+        warm = WarmStartState(q_block=np.arange(12.0).reshape(4, 3))
+        warm.drop_cases(np.asarray([1]))
+        np.testing.assert_array_equal(
+            warm.q_block, np.arange(12.0).reshape(4, 3)[[0, 2, 3]]
+        )
+        assert warm.q_block_for(3, 3) is not None
+        assert warm.q_block_for(4, 3) is None
+
+    def test_drop_cases_none_and_empty(self):
+        warm = WarmStartState()
+        warm.drop_cases(np.asarray([0]))  # no q_block: no-op
+        warm.q_block = np.ones((2, 3))
+        warm.drop_cases(np.asarray([], dtype=np.int64))
+        assert warm.q_block.shape == (2, 3)
+
+    def test_q_block_survives_case_pruning_in_solves(self):
+        """Pruning a case keeps the remaining rows warm-starting theirs."""
+        warm = WarmStartState(q_block=np.vstack([np.full(3, i) for i in range(3)]))
+        warm.drop_cases(np.asarray([0]))
+        np.testing.assert_array_equal(warm.q_block[0], np.full(3, 1.0))

@@ -87,6 +87,38 @@ class TestBackendEquivalence:
             assert a.objective == pytest.approx(b.objective)
             np.testing.assert_array_equal(a.values, b.values)
 
+    def test_warm_enumeration_is_canonically_ordered(self):
+        """Warm enumeration == lexicographically-sorted cold enumeration.
+
+        Warm solves reuse the previous basis, so on degenerate LPs they can
+        discover tied optima in a state-dependent order.  The backend pins
+        them down by sorting the complete enumeration by variable
+        assignment; the cold backends keep raw discovery order, so the warm
+        result must equal the canonically-sorted cold one.
+        """
+        program = flip_program(n=6, target=2)
+        warm = enumerate_optima(
+            program, max_solutions=100, lp_backend="highs-warm"
+        )
+        cold = enumerate_optima(program, max_solutions=100, lp_backend="highs")
+        canonical = sorted(cold, key=lambda solution: solution.values.tolist())
+        assert len(warm) == len(canonical) == 15  # C(6, 2) tied optima
+        for a, b in zip(warm, canonical):
+            assert a.objective == pytest.approx(b.objective)
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_warm_enumeration_order_stable_across_runs(self):
+        program = flip_program(n=5, target=2)
+        first = enumerate_optima(
+            program, max_solutions=100, lp_backend="highs-warm"
+        )
+        second = enumerate_optima(
+            program.clone(), max_solutions=100, lp_backend="highs-warm"
+        )
+        assert [a.values.tolist() for a in first] == [
+            b.values.tolist() for b in second
+        ]
+
     def test_unknown_backend_rejected(self):
         with pytest.raises(ILPError):
             solve(mixed_program(), lp_backend="gurobi")

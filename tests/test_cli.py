@@ -17,7 +17,7 @@ class TestParser:
             build_parser().parse_args(["run", "fig99"])
 
     def test_every_experiment_registered(self):
-        assert len(EXPERIMENTS) == 15
+        assert len(EXPERIMENTS) == 16
 
     def test_run_fast_experiment(self, capsys, tmp_path):
         assert main(["run", "thm_c1", "--out", str(tmp_path)]) == 0
