@@ -1,0 +1,32 @@
+"""Async Rain loop: determinism contract + pipelined wall-clock speedup.
+
+The fig5 DBLP workload at serving scale (16k candidate query rows), where
+query execution and the complaint drain dominate the iteration.  The
+bench pins the two acceptance properties of the async pipeline:
+
+- removal orders are IDENTICAL to the serial sharded loop for every
+  method (the async determinism contract, pinned bit-exact by
+  ``tests/core/test_async_pipeline.py``);
+- the async loop is at least 1.3x faster, from prefetching the next
+  iteration's train/execute stages onto the stage thread plus the
+  columnar complaint drain (one vectorized compiled forward per result
+  instead of a provenance-tree walk per complaint).
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import async_rain
+
+
+def test_bench_async(benchmark, out_dir):
+    result = benchmark.pedantic(
+        async_rain.run,
+        kwargs={"n_train": 400, "n_query": 16000, "max_removals": 50,
+                "n_workers": 2, "rounds": 2},
+        rounds=1, iterations=1,
+    )
+    save_and_print(result, out_dir)
+
+    for row in result.rows:
+        assert row["order_matches_serial"], row
+        assert row["speedup"] >= 1.3, row

@@ -24,6 +24,7 @@ import sys
 from collections.abc import Callable
 
 from .experiments import (
+    async_rain,
     fig3_dblp_recall,
     fig4_f1,
     fig5_runtime,
@@ -57,6 +58,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "thm_a1": (thm_a1.run, "Theorem A.1 ambiguity validation"),
     "thm_c1": (thm_c1.run, "Theorem C.1 value-of-complaints validation"),
     "serving": (serving.run, "Sharded multi-query serving: serial vs workers"),
+    "async": (async_rain.run, "Async pipelined loop vs serial sharded (DBLP)"),
 }
 
 
@@ -84,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--flip-fraction", type=float, default=0.5)
     serve.add_argument("--max-removals", type=int, default=20)
     serve.add_argument(
+        "--async-pipeline", action="store_true", default=None,
+        help="pipeline train/execute of the next iteration against the "
+             "current drain (default: REPRO_ASYNC, else off)",
+    )
+    serve.add_argument(
         "--check", action="store_true",
         help="re-run serially and verify the removal orders are identical",
     )
@@ -101,7 +108,7 @@ def _serve(args) -> int:
     )
     initial_params = setting.model.get_params()
 
-    def run_once(n_workers):
+    def run_once(n_workers, async_pipeline):
         setting.model.set_params(initial_params)
         debugger = RainDebugger(
             setting.database,
@@ -112,10 +119,11 @@ def _serve(args) -> int:
             method="holistic",
             rng=args.seed,
             n_workers=n_workers,
+            async_pipeline=async_pipeline,
         )
         return debugger.run(max_removals=args.max_removals)
 
-    report = run_once(args.workers)
+    report = run_once(args.workers, args.async_pipeline)
     print(f"served {len(setting.cases)} complaint cases "
           f"over {setting.n_distinct_plans} distinct plans")
     for record in report.iterations:
@@ -130,7 +138,7 @@ def _serve(args) -> int:
     print(f"removal order ({len(report.removal_order)}): "
           f"{report.removal_order}")
     if args.check:
-        serial = run_once(0)
+        serial = run_once(0, False)
         if serial.removal_order != report.removal_order:
             print("DETERMINISM CHECK FAILED: sharded != serial removal order")
             return 1

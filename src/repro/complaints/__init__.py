@@ -7,6 +7,7 @@ from .complaint import (
     TupleComplaint,
     ValueComplaint,
     all_satisfied,
+    all_satisfied_columnar,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "TupleComplaint",
     "ValueComplaint",
     "all_satisfied",
+    "all_satisfied_columnar",
 ]

@@ -11,8 +11,10 @@ from .interventions import RelabelDebugger
 from .rain import DebugReport, IterationRecord, RainDebugger
 from .sharding import (
     ExecuteStats,
+    PipelineState,
     execute_cases,
     fixed_shards,
+    resolve_async,
     resolve_workers,
     run_sharded,
     spawn_generators,
@@ -39,8 +41,10 @@ __all__ = [
     "RainDebugger",
     "RelabelDebugger",
     "ExecuteStats",
+    "PipelineState",
     "execute_cases",
     "fixed_shards",
+    "resolve_async",
     "resolve_workers",
     "run_sharded",
     "spawn_generators",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterable, Sequence
 from typing import TypeVar
@@ -93,22 +94,31 @@ class Stopwatch:
 
     Used by the experiment harness to reproduce the paper's
     Train/Encode/Rank per-iteration runtime breakdown (Figures 5 and 12).
+
+    Thread-safe: the async Rain pipeline charges ``train``/``execute`` from
+    its stage thread while the driver charges ``encode``/``rank`` and
+    snapshots ``as_dict`` concurrently, so accumulation and snapshots take
+    a lock.  A label may only be *started* by one thread at a time (labels
+    partition cleanly across threads in the pipeline).
     """
 
     def __init__(self) -> None:
         self.totals: dict[str, float] = {}
         self.counts: dict[str, int] = {}
         self._started: dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def start(self, label: str) -> None:
-        self._started[label] = time.perf_counter()
+        with self._lock:
+            self._started[label] = time.perf_counter()
 
     def stop(self, label: str) -> float:
-        if label not in self._started:
-            raise KeyError(f"Stopwatch label {label!r} was never started")
-        elapsed = time.perf_counter() - self._started.pop(label)
-        self.totals[label] = self.totals.get(label, 0.0) + elapsed
-        self.counts[label] = self.counts.get(label, 0) + 1
+        with self._lock:
+            if label not in self._started:
+                raise KeyError(f"Stopwatch label {label!r} was never started")
+            elapsed = time.perf_counter() - self._started.pop(label)
+            self.totals[label] = self.totals.get(label, 0.0) + elapsed
+            self.counts[label] = self.counts.get(label, 0) + 1
         return elapsed
 
     def time(self, label: str):
@@ -122,7 +132,8 @@ class Stopwatch:
         return self.totals[label] / self.counts[label]
 
     def as_dict(self) -> dict[str, float]:
-        return dict(self.totals)
+        with self._lock:
+            return dict(self.totals)
 
 
 class _StopwatchContext:

@@ -9,6 +9,7 @@ from repro.complaints import (
     TupleComplaint,
     ValueComplaint,
     all_satisfied,
+    all_satisfied_columnar,
 )
 from repro.errors import ComplaintError
 from repro.relational import Executor, plan_sql
@@ -130,3 +131,144 @@ class TestComplaintCase:
         )
         assert all_satisfied([(good, count_result)])
         assert not all_satisfied([(good, count_result), (bad, count_result)])
+
+
+class TestColumnarSatisfied:
+    """``all_satisfied_columnar`` agrees with the tree reference.
+
+    The async pipeline's drain stage evaluates complaint satisfaction
+    with one vectorized compiled forward per result instead of the tree
+    walk; every complaint shape must produce the same flag.
+    """
+
+    def _agree(self, case_results) -> bool:
+        tree = all_satisfied(case_results)
+        assert all_satisfied_columnar(case_results) == tree
+        return tree
+
+    def test_value_complaints_all_ops(self, count_result):
+        current = count_result.scalar("count")
+        for op, value, expected in (
+            ("=", current, True),
+            ("=", current + 1, False),
+            ("<=", current + 1, True),
+            ("<=", current - 1, False),
+            (">=", current - 1, True),
+            (">=", current + 1, False),
+        ):
+            case = ComplaintCase(
+                "q",
+                [ValueComplaint(column="count", op=op, value=value, row_index=0)],
+            )
+            assert self._agree([(case, count_result)]) is expected
+
+    def test_value_complaint_group_key(self, group_result):
+        case = ComplaintCase(
+            "q",
+            [ValueComplaint(column="count", op=">=", value=0, group_key=(1,))],
+        )
+        assert self._agree([(case, group_result)]) is True
+
+    def test_tuple_complaint_row_index(self, simple_db):
+        plan = plan_sql("SELECT * FROM R WHERE predict(*) = 1", simple_db)
+        result = Executor(simple_db).execute(plan, debug=True)
+        if len(result.relation) == 0:
+            pytest.skip("no rows predicted 1")
+        case = ComplaintCase("q", [TupleComplaint(row_index=0)])
+        assert self._agree([(case, result)]) is False
+
+    def test_tuple_complaint_group_key(self, group_result):
+        existing_key = (int(group_result.relation.column("predict(*)")[0]),)
+        case = ComplaintCase("q", [TupleComplaint(group_key=existing_key)])
+        assert self._agree([(case, group_result)]) is False
+
+    def test_tuple_complaint_lineage(self, simple_db):
+        plan = plan_sql("SELECT * FROM R WHERE predict(*) = 1", simple_db)
+        result = Executor(simple_db).execute(plan, debug=True)
+        batch = result.candidate_batch
+        candidate_row = int(batch.alias_row_ids["R"][0])
+        case = ComplaintCase(
+            "q", [TupleComplaint.for_lineage(R=candidate_row)]
+        )
+        self._agree([(case, result)])
+
+    def test_tuple_complaint_lineage_vacuous(self, simple_db):
+        # flag = 1 deterministically filters odd rows before prediction:
+        # a lineage complaint on a filtered row is vacuously satisfied in
+        # both representations (tree: prov.FALSE; columnar: no node).
+        plan = plan_sql(
+            "SELECT * FROM R WHERE flag = 1 AND predict(*) = 1", simple_db
+        )
+        result = Executor(simple_db).execute(plan, debug=True)
+        filtered_row = 1  # flag is 0 on odd ids
+        assert filtered_row not in set(
+            np.asarray(result.candidate_batch.alias_row_ids["R"]).tolist()
+        )
+        case = ComplaintCase("q", [TupleComplaint.for_lineage(R=filtered_row)])
+        assert self._agree([(case, result)]) is True
+
+    def test_prediction_complaint_falls_back(self, count_result):
+        site = count_result.runtime.sites[0]
+        current = count_result.runtime.prediction_for_site(site.key)
+        good = ComplaintCase(
+            "q", [PredictionComplaint("R", site.row_id, current)]
+        )
+        bad = ComplaintCase(
+            "q", [PredictionComplaint("R", site.row_id, 1 - int(current))]
+        )
+        assert self._agree([(good, count_result)]) is True
+        assert self._agree([(bad, count_result)]) is False
+
+    def test_tree_results_fall_back(self, simple_db):
+        plan = plan_sql("SELECT COUNT(*) FROM R WHERE predict(*) = 1", simple_db)
+        result = Executor(simple_db).execute(
+            plan, debug=True, provenance="tree"
+        )
+        current = result.scalar("count")
+        case = ComplaintCase(
+            "q",
+            [ValueComplaint(column="count", op="=", value=current, row_index=0)],
+        )
+        assert self._agree([(case, result)]) is True
+
+    def test_mixed_cases_over_multiple_results(self, count_result, group_result):
+        current = count_result.scalar("count")
+        cases = [
+            (
+                ComplaintCase(
+                    "q",
+                    [
+                        ValueComplaint(
+                            column="count", op="=", value=current, row_index=0
+                        )
+                    ],
+                ),
+                count_result,
+            ),
+            (
+                ComplaintCase(
+                    "q",
+                    [
+                        ValueComplaint(
+                            column="count", op=">=", value=0, group_key=(1,)
+                        )
+                    ],
+                ),
+                group_result,
+            ),
+        ]
+        assert self._agree(cases) is True
+        cases.append(
+            (
+                ComplaintCase(
+                    "q",
+                    [
+                        ValueComplaint(
+                            column="count", op="=", value=current + 1, row_index=0
+                        )
+                    ],
+                ),
+                count_result,
+            )
+        )
+        assert self._agree(cases) is False

@@ -1,0 +1,225 @@
+"""The async pipeline's determinism contract and failure semantics.
+
+The hard rule mirrors sharding's: **the pipeline never changes the
+answer.**  Async runs at any worker count must replay the serial loop
+bit-for-bit — removal order, per-iteration removal sets, satisfied
+flags, stop reason, final fitted parameters — which the shared
+``DeterminismHarness`` fixture pins over methods × datasets.  The rest
+of the module covers the knob resolution (``REPRO_ASYNC``), the early
+exits (``stop_when_satisfied``, ``no_signal``) whose control flow the
+pipeline reorders, and stage-thread failure propagation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.complaints import ComplaintCase, ValueComplaint
+from repro.core import PipelineState, RainDebugger, resolve_async
+from repro.core.rankers import (
+    HolisticRanker,
+    InfLossRanker,
+    LossRanker,
+    TwoStepRanker,
+)
+from repro.errors import DebuggingError
+from repro.experiments.common import build_dblp_setting
+from repro.experiments.fig8_multiquery import build_adult_setting
+
+
+@pytest.fixture(scope="module")
+def adult_setting():
+    return build_adult_setting(0.5, n_train=200, n_query=300, seed=0)
+
+
+@pytest.fixture(scope="module")
+def dblp_setting():
+    return build_dblp_setting(0.5, n_train=150, n_query=150, seed=0)
+
+
+def harness_for(determinism_harness, setting, dataset, method, rk, **kwargs):
+    if dataset == "adult":
+        return determinism_harness(
+            setting.database,
+            "income",
+            setting.X_train,
+            setting.y_corrupted,
+            [setting.gender_case, setting.age_case],
+            method=method,
+            ranker_kwargs=rk,
+            **kwargs,
+        )
+    return determinism_harness(
+        setting.database,
+        setting.model_name,
+        setting.X_train,
+        setting.y_corrupted,
+        [setting.case],
+        method=method,
+        ranker_kwargs=rk,
+        **kwargs,
+    )
+
+
+METHODS = [
+    pytest.param("holistic", {}, id="holistic"),
+    pytest.param(
+        "holistic",
+        {"per_query_solves": True, "solve_shard_size": 1},
+        id="holistic-per-query",
+    ),
+    pytest.param(
+        "twostep", {"ambiguity_cap": 3, "time_limit": 10.0}, id="twostep"
+    ),
+    pytest.param("loss", {}, id="loss"),
+    pytest.param("infloss", {}, id="infloss"),
+]
+
+
+class TestAsyncMatchesSerial:
+    """Async at 0/2/4 workers replays the serial loop bit-for-bit."""
+
+    @pytest.mark.parametrize("dataset", ["adult", "dblp"])
+    @pytest.mark.parametrize("method,rk", METHODS)
+    def test_bit_identical_reports(
+        self, determinism_harness, request, dataset, method, rk
+    ):
+        setting = request.getfixturevalue(f"{dataset}_setting")
+        harness = harness_for(determinism_harness, setting, dataset, method, rk)
+        golden = harness.check()
+        assert golden.removal_order  # non-degenerate workload
+
+    def test_async_timing_totals_cover_all_stages(
+        self, determinism_harness, dblp_setting
+    ):
+        harness = harness_for(
+            determinism_harness, dblp_setting, "dblp", "holistic", {}
+        )
+        report, _ = harness.run(n_workers=2, async_pipeline=True)
+        for label in ("train", "execute", "rank"):
+            assert report.timings.get(label, 0.0) > 0.0, label
+
+
+class TestAsyncKnobs:
+    def test_resolve_async(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ASYNC", raising=False)
+        assert resolve_async(None) is False
+        assert resolve_async(True) is True
+        assert resolve_async(False) is False
+        monkeypatch.setenv("REPRO_ASYNC", "1")
+        assert resolve_async(None) is True
+        assert resolve_async(False) is False  # explicit bool wins
+        monkeypatch.setenv("REPRO_ASYNC", "0")
+        assert resolve_async(None) is False
+
+    def test_invalid_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ASYNC", "yes")
+        with pytest.raises(DebuggingError, match="REPRO_ASYNC"):
+            resolve_async(None)
+
+    def test_env_drives_debugger(self, dblp_setting, monkeypatch):
+        setting = dblp_setting
+        monkeypatch.setenv("REPRO_ASYNC", "1")
+        debugger = RainDebugger(
+            setting.database, setting.model_name, setting.X_train,
+            setting.y_corrupted, [setting.case], method="holistic", rng=0,
+        )
+        assert debugger.async_pipeline is True
+
+    def test_tree_provenance_pins_pipeline_off(self, dblp_setting):
+        setting = dblp_setting
+        debugger = RainDebugger(
+            setting.database, setting.model_name, setting.X_train,
+            setting.y_corrupted, [setting.case], method="holistic", rng=0,
+            provenance="tree", async_pipeline=True, n_workers=4,
+        )
+        assert debugger.async_pipeline is False
+        assert debugger.n_workers == 0
+
+    def test_complaint_free_rankers_skip_the_execute_join(self):
+        # Loss/InfLoss only need case results for the satisfied flag, so
+        # the driver ranks while execute(k) is still in flight.
+        assert LossRanker.uses_case_results is False
+        assert InfLossRanker.uses_case_results is False
+        assert HolisticRanker.uses_case_results is True
+        assert TwoStepRanker.uses_case_results is True
+
+
+class TestAsyncStopping:
+    """Early exits whose control flow the pipeline reorders."""
+
+    def test_stop_when_satisfied_short_circuits(self, determinism_harness):
+        setting = build_dblp_setting(0.5, n_train=80, n_query=100, seed=2)
+        # COUNT(*) over n_query rows can never exceed n_query: satisfied
+        # from iteration one, so both loops must stop without removing.
+        vacuous = ComplaintCase(
+            setting.query,
+            [
+                ValueComplaint(
+                    column="count",
+                    op="<=",
+                    value=setting.X_query.shape[0],
+                    row_index=0,
+                )
+            ],
+        )
+        harness = determinism_harness(
+            setting.database, setting.model_name, setting.X_train,
+            setting.y_corrupted, [vacuous], method="holistic",
+            stop_when_satisfied=True,
+        )
+        golden = harness.check()
+        assert golden.stopped_reason == "complaints_satisfied"
+        assert golden.removal_order == []
+        assert golden.iterations[-1].complaints_satisfied
+
+    def test_stop_when_satisfied_still_replays_while_unsatisfied(
+        self, determinism_harness, dblp_setting
+    ):
+        harness = harness_for(
+            determinism_harness, dblp_setting, "dblp", "holistic", {},
+            stop_when_satisfied=True,
+        )
+        golden = harness.check()
+        assert golden.removal_order
+
+    def test_no_signal_stops_both_loops(self, determinism_harness):
+        setting = build_dblp_setting(0.5, n_train=40, n_query=60, seed=3)
+        # Identical rows + identical labels: every per-sample loss ties,
+        # so the ranker has no signal and both loops must refuse to
+        # remove arbitrary records.
+        X_flat = np.zeros_like(setting.X_train)
+        y_const = setting.y_corrupted.copy()
+        y_const[:] = "match"
+        harness = determinism_harness(
+            setting.database, setting.model_name, X_flat, y_const,
+            [setting.case], method="loss", max_removals=10,
+        )
+        golden = harness.check()
+        assert golden.stopped_reason == "no_signal"
+        assert golden.removal_order == []
+
+
+class TestPipelineFailures:
+    def test_stage_exception_propagates_to_the_driver(self, monkeypatch):
+        setting = build_dblp_setting(0.5, n_train=60, n_query=80, seed=1)
+        debugger = RainDebugger(
+            setting.database, setting.model_name, setting.X_train,
+            setting.y_corrupted, [setting.case], method="holistic", rng=0,
+            async_pipeline=True,
+        )
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("executor down")
+
+        monkeypatch.setattr(debugger.executor, "execute", boom)
+        with pytest.raises(RuntimeError, match="executor down"):
+            debugger.run(max_removals=10)
+
+    def test_pipeline_state_is_fifo(self):
+        order = []
+        with PipelineState() as pipe:
+            train = pipe.submit_train(lambda: order.append("train") or 1)
+            execute = pipe.submit_execute(lambda: order.append("execute") or 2)
+            assert train.result() == 1
+            assert execute.result() == 2
+        assert order == ["train", "execute"]

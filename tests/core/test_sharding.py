@@ -26,18 +26,43 @@ from repro.relational.algebra import plan_fingerprint
 from repro.relational.executor import ExecutionCache
 
 
+# One module-level SeedSequence; every consumer spawns its own child
+# stream.  Module-level literal seeds previously aliased RNG streams
+# across the thread-pool tests (the setting builder, the debugger run
+# RNG, and the serving workload all drew from seed 0), which is exactly
+# the kind of accidental coupling the sharded layer's own
+# ``spawn_generators`` exists to prevent.
+MODULE_SEED = np.random.SeedSequence(987654321)
+
+
+def _spawned_seed(child: np.random.SeedSequence) -> int:
+    return int(child.generate_state(1)[0] % 2**31)
+
+
 @pytest.fixture(scope="module")
-def adult_setting():
-    return build_adult_setting(0.5, n_train=200, n_query=300, seed=0)
+def seed_streams():
+    setting_ss, debugger_ss, serving_ss = MODULE_SEED.spawn(3)
+    return {
+        "setting": _spawned_seed(setting_ss),
+        "debugger": _spawned_seed(debugger_ss),
+        "serving": _spawned_seed(serving_ss),
+    }
+
+
+@pytest.fixture(scope="module")
+def adult_setting(seed_streams):
+    return build_adult_setting(
+        0.5, n_train=200, n_query=300, seed=seed_streams["setting"]
+    )
 
 
 def run_debugger(setting, cases, n_workers, method="holistic", rk=None,
-                 max_removals=20, initial_params=None):
+                 max_removals=20, initial_params=None, rng=0):
     if initial_params is not None:
         setting.model.set_params(initial_params)
     debugger = RainDebugger(
         setting.database, "income", setting.X_train, setting.y_corrupted,
-        cases, method=method, rng=0, ranker_kwargs=dict(rk or {}),
+        cases, method=method, rng=rng, ranker_kwargs=dict(rk or {}),
         n_workers=n_workers,
     )
     return debugger.run(max_removals=max_removals, k_per_iteration=10)
@@ -46,44 +71,51 @@ def run_debugger(setting, cases, n_workers, method="holistic", rk=None,
 class TestShardedEqualsSerial:
     """Removal orders are identical at every worker count."""
 
-    def test_holistic_two_and_four_workers(self, adult_setting):
+    def test_holistic_two_and_four_workers(self, adult_setting, seed_streams):
         setting = adult_setting
         cases = [setting.gender_case, setting.age_case]
+        rng = seed_streams["debugger"]
         initial = setting.model.get_params()
-        serial = run_debugger(setting, cases, 0, initial_params=initial)
+        serial = run_debugger(setting, cases, 0, initial_params=initial, rng=rng)
         assert serial.removal_order  # non-degenerate workload
         for n_workers in (2, 4):
             sharded = run_debugger(
-                setting, cases, n_workers, initial_params=initial
+                setting, cases, n_workers, initial_params=initial, rng=rng
             )
             assert sharded.removal_order == serial.removal_order, n_workers
 
-    def test_per_query_solves_with_solve_shards(self, adult_setting):
+    def test_per_query_solves_with_solve_shards(self, adult_setting, seed_streams):
         setting = adult_setting
         cases = [setting.gender_case, setting.age_case]
+        rng = seed_streams["debugger"]
         rk = {"per_query_solves": True, "solve_shard_size": 1}
         initial = setting.model.get_params()
-        serial = run_debugger(setting, cases, 0, rk=rk, initial_params=initial)
+        serial = run_debugger(
+            setting, cases, 0, rk=rk, initial_params=initial, rng=rng
+        )
         for n_workers in (2, 4):
             sharded = run_debugger(
-                setting, cases, n_workers, rk=rk, initial_params=initial
+                setting, cases, n_workers, rk=rk, initial_params=initial, rng=rng
             )
             assert sharded.removal_order == serial.removal_order, n_workers
             diag = sharded.iterations[0].diagnostics
             assert diag["solve_shards"] == 2
 
-    def test_twostep_sharded_rng_stays_in_case_order(self, adult_setting):
+    def test_twostep_sharded_rng_stays_in_case_order(
+        self, adult_setting, seed_streams
+    ):
         setting = adult_setting
         cases = [setting.gender_case, setting.age_case]
+        rng = seed_streams["debugger"]
         rk = {"ambiguity_cap": 3, "time_limit": 10.0}
         initial = setting.model.get_params()
         serial = run_debugger(
             setting, cases, 0, method="twostep", rk=rk,
-            max_removals=10, initial_params=initial,
+            max_removals=10, initial_params=initial, rng=rng,
         )
         sharded = run_debugger(
             setting, cases, 2, method="twostep", rk=rk,
-            max_removals=10, initial_params=initial,
+            max_removals=10, initial_params=initial, rng=rng,
         )
         assert sharded.removal_order == serial.removal_order
         assert (
@@ -91,9 +123,11 @@ class TestShardedEqualsSerial:
             == [r.diagnostics.get("ambiguity") for r in serial.iterations]
         )
 
-    def test_smoke_two_workers_serving_setting(self):
+    def test_smoke_two_workers_serving_setting(self, seed_streams):
         """Fast tier-1 smoke: the full serving workload at n_workers=2."""
-        setting = build_serving_setting(0.5, n_train=120, n_query=300, seed=0)
+        setting = build_serving_setting(
+            0.5, n_train=120, n_query=300, seed=seed_streams["serving"]
+        )
         initial = setting.model.get_params()
         sharded = run_debugger(
             setting, setting.cases, 2, max_removals=10, initial_params=initial
@@ -257,3 +291,61 @@ class TestWarmStartStateEdgeCases:
         warm = WarmStartState(q_block=np.vstack([np.full(3, i) for i in range(3)]))
         warm.drop_cases(np.asarray([0]))
         np.testing.assert_array_equal(warm.q_block[0], np.full(3, 1.0))
+
+    def test_drop_cases_mid_run_keeps_q_block_consistent(self, seed_streams):
+        """Regression: pruning a case mid-run must leave the per-case warm
+        block consumable by the next per-query Holistic solve, and the
+        warm-started scores must match a cold solve on the surviving cases.
+        """
+        from repro.core import make_ranker
+        from repro.utils import Stopwatch
+
+        setting = build_serving_setting(
+            0.5, n_train=120, n_query=300, seed=seed_streams["serving"]
+        )
+        cases = setting.cases[:3]
+        debugger = RainDebugger(
+            setting.database, "income", setting.X_train, setting.y_corrupted,
+            cases, method="holistic", rng=0,
+            ranker_kwargs={"per_query_solves": True},
+        )
+        active = np.arange(setting.X_train.shape[0])
+        X_active, y_active = setting.X_train, setting.y_corrupted
+        debugger._train_stage(X_active, y_active)
+        case_results, stats = debugger._execute_stage()
+
+        # Iteration k: a real 3-case per-query solve fills the warm block.
+        warm = WarmStartState()
+        ranker = make_ranker("holistic", per_query_solves=True)
+        ranker.scores(
+            debugger._make_context(
+                X_active, y_active, active, case_results, Stopwatch(), warm,
+                stats,
+            )
+        )
+        n_params = setting.model.n_params
+        assert warm.q_block is not None
+        assert warm.q_block.shape == (3, n_params)
+
+        # The driver prunes case 1 mid-run.
+        warm.drop_cases(np.asarray([1]))
+        assert warm.q_block_for(3, n_params) is None  # stale shape refused
+        assert warm.q_block_for(2, n_params) is not None
+
+        # Iteration k+1 over the surviving cases consumes the warm rows…
+        surviving = [case_results[0], case_results[2]]
+        warm_scores = make_ranker("holistic", per_query_solves=True).scores(
+            debugger._make_context(
+                X_active, y_active, active, surviving, Stopwatch(), warm, None
+            )
+        )
+        assert warm.q_block.shape == (2, n_params)
+        # …and produces the same ranking as a cold solve (warm starts are
+        # accelerators, never state the scores depend on).
+        cold_scores = make_ranker("holistic", per_query_solves=True).scores(
+            debugger._make_context(
+                X_active, y_active, active, surviving, Stopwatch(),
+                WarmStartState(), None,
+            )
+        )
+        np.testing.assert_allclose(warm_scores, cold_scores, atol=1e-6)

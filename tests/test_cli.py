@@ -17,7 +17,8 @@ class TestParser:
             build_parser().parse_args(["run", "fig99"])
 
     def test_every_experiment_registered(self):
-        assert len(EXPERIMENTS) == 16
+        assert len(EXPERIMENTS) == 17
+        assert "async" in EXPERIMENTS
 
     def test_run_fast_experiment(self, capsys, tmp_path):
         assert main(["run", "thm_c1", "--out", str(tmp_path)]) == 0
