@@ -1,0 +1,40 @@
+"""Corruption-rate sweep over the ENRON / Adult paper scenarios.
+
+Per (scenario, rate) cell: tree vs compiled ILP encode wall clock,
+program parity up to variable naming, and one deterministic branch &
+bound solve.  The ENRON rows grade Table 3's labelling-function rule
+by the fraction of token-matching emails it relabels; the Adult rows
+reuse Figure 8's flip fraction.
+
+The asserts here are qualitative — every cell present, every program
+pair identical, every solve optimal.  These single-table scenarios
+carry flat provenance (linear aggregate cells), so no encode-speedup
+floor applies; that floor lives in ``test_bench_ilp_encode`` on the
+fig6-shaped join workload.
+"""
+
+from conftest import save_and_print
+
+from repro.experiments import scenario_sweep
+
+
+def test_bench_scenario_sweep(benchmark, out_dir):
+    result = benchmark.pedantic(
+        scenario_sweep.run,
+        kwargs={"rates": (0.5, 1.0), "flip_fractions": (0.3, 0.5),
+                "n_train": 400, "n_query": 1200, "rounds": 3},
+        rounds=1, iterations=1,
+    )
+    save_and_print(result, out_dir)
+
+    cells = {(row["scenario"], row["rate"]) for row in result.rows}
+    assert cells == {
+        ("enron_http", 0.5), ("enron_http", 1.0),
+        ("enron_deal", 0.5), ("enron_deal", 1.0),
+        ("adult_q6_gender", 0.3), ("adult_q6_gender", 0.5),
+        ("adult_q7_age", 0.3), ("adult_q7_age", 0.5),
+    }
+    for row in result.rows:
+        assert row["program_identical"], row
+        assert row["solve_status"].startswith("optimal"), row
+        assert row["tree_encode_s"] > 0 and row["compiled_encode_s"] > 0

@@ -34,7 +34,9 @@ from .experiments import (
     fig9_effort,
     fig10_misspec,
     fig11_nn,
+    ilp_encode,
     queries,
+    scenario_sweep,
     serving,
     table3_auccr,
     thm_a1,
@@ -59,6 +61,8 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "thm_c1": (thm_c1.run, "Theorem C.1 value-of-complaints validation"),
     "serving": (serving.run, "Sharded multi-query serving: serial vs workers"),
     "async": (async_rain.run, "Async pipelined loop vs serial sharded (DBLP)"),
+    "ilp_encode": (ilp_encode.run, "Tree vs array-lowered ILP encode (fig6 joins)"),
+    "sweep": (scenario_sweep.run, "ENRON/Adult corruption-rate encode/solve sweep"),
 }
 
 

@@ -73,7 +73,7 @@ from ..complaints.complaint import (
     all_satisfied_columnar,
 )
 from ..errors import DebuggingError, ILPError
-from ..ilp.encode import TiresiasEncoder
+from ..ilp.encode import make_encoder
 from ..ilp.solver import enumerate_optima
 from ..influence.functions import InfluenceAnalyzer, PerSampleGradCache
 from ..relational.algebra import Plan
@@ -220,7 +220,7 @@ class RainDebugger:
         for case, plan in zip(self.cases, self._plans):
             result = self.executor.execute(plan, debug=True, provenance=self.provenance)
             try:
-                encoder = TiresiasEncoder(result)
+                encoder = make_encoder(result)
                 encoder.add_complaints(case.complaints)
                 solutions = enumerate_optima(
                     encoder.program, max_solutions=2, time_limit=10.0

@@ -28,7 +28,7 @@ import numpy as np
 
 from ..complaints.complaint import ComplaintCase, PredictionComplaint
 from ..errors import DebuggingError, ILPTimeoutError, InfeasibleError
-from ..ilp.encode import TiresiasEncoder
+from ..ilp.encode import make_encoder
 from ..ilp.solver import enumerate_optima, pick_solution
 from ..influence.functions import InfluenceAnalyzer, q_grad_for_target_predictions
 from ..relational.executor import QueryResult
@@ -333,6 +333,7 @@ class TwoStepRanker(Ranker):
         time_limit: float | None = 60.0,
         on_failure: str = "zeros",
         lp_backend: str | None = None,
+        ilp_encoder: str | None = None,
     ) -> None:
         if on_failure not in ("zeros", "raise"):
             raise DebuggingError("on_failure must be 'zeros' or 'raise'")
@@ -341,6 +342,7 @@ class TwoStepRanker(Ranker):
         self.time_limit = time_limit
         self.on_failure = on_failure
         self.lp_backend = lp_backend
+        self.ilp_encoder = ilp_encoder
 
     def scores(self, ctx: IterationContext) -> np.ndarray:
         with ctx.watch.time("encode"):
@@ -417,7 +419,7 @@ class TwoStepRanker(Ranker):
         direct_sites = {complaint.site_id(result) for complaint in direct}
         if not indirect:
             return direct_marks, direct_sites, None, None
-        encoder = TiresiasEncoder(result)
+        encoder = make_encoder(result, self.ilp_encoder)
         encoder.add_complaints(case.complaints)  # point complaints pin sites
         solutions = enumerate_optima(
             encoder.program,

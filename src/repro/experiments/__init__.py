@@ -10,7 +10,9 @@ from . import (
     fig9_effort,
     fig10_misspec,
     fig11_nn,
+    ilp_encode,
     queries,
+    scenario_sweep,
     table3_auccr,
     thm_a1,
     thm_c1,
@@ -26,7 +28,8 @@ from .common import (
 __all__ = [
     "fig3_dblp_recall", "fig4_f1", "fig5_runtime", "fig6_mnist_join",
     "fig7_ambiguity", "fig8_multiquery", "fig9_effort", "fig10_misspec",
-    "fig11_nn", "queries", "table3_auccr", "thm_a1", "thm_c1",
+    "fig11_nn", "ilp_encode", "queries", "scenario_sweep", "table3_auccr",
+    "thm_a1", "thm_c1",
     "ExperimentResult", "build_dblp_setting", "compare_methods",
     "execute_sql", "run_method",
 ]

@@ -42,10 +42,14 @@ class BinaryProgram:
     """A minimization 0-1 ILP."""
 
     def __init__(self) -> None:
-        self._names: list[str] = []
+        self._names: list[str | None] = []
+        self._name_blocks: list[tuple[int, int, str]] = []
         self._objective: dict[int, float] = {}
         self.objective_constant: float = 0.0
-        self.constraints: list[Constraint] = []
+        # Bulk-appended rows live only in the CSR until someone asks for
+        # Constraint objects; None marks a not-yet-materialized row.
+        self._constraints: list[Constraint | None] = []
+        self._n_lazy = 0
         self._fixed: dict[int, int] = {}
         self._objective_arrays: tuple[np.ndarray, np.ndarray] | None = None
         # Incremental CSR builder (constraints are append-only): amortized
@@ -71,6 +75,22 @@ class BinaryProgram:
         self._names.extend(names)
         return range(first, len(self._names))
 
+    def add_var_block(self, count: int, prefix: str = "z") -> range:
+        """Bulk anonymous variable creation with lazily formatted names.
+
+        The block's names are ``f"{prefix}{index}"``, materialized only if
+        someone asks (solver diagnostics, repr) — the compiled ILP encoder
+        allocates thousands of aux variables per program and the f-string
+        per variable is measurable.
+        """
+        if count < 0:
+            raise ILPError(f"variable block size must be >= 0, got {count}")
+        first = len(self._names)
+        self._names.extend([None] * count)
+        if count:
+            self._name_blocks.append((first, first + count, prefix))
+        return range(first, first + count)
+
     def clone(self) -> "BinaryProgram":
         """A deep-enough copy sharing no mutable state with the original.
 
@@ -79,9 +99,11 @@ class BinaryProgram:
         """
         other = BinaryProgram()
         other._names = list(self._names)
+        other._name_blocks = list(self._name_blocks)
         other._objective = dict(self._objective)
         other.objective_constant = self.objective_constant
-        other.constraints = list(self.constraints)
+        other._constraints = list(self._constraints)
+        other._n_lazy = self._n_lazy
         other._fixed = dict(self._fixed)
         self._sync_rows_builder()  # materialize the CSR prefix, then copy it
         other._csr_starts = self._csr_starts.copy()
@@ -98,7 +120,14 @@ class BinaryProgram:
         return len(self._names)
 
     def name(self, index: int) -> str:
-        return self._names[index]
+        name = self._names[index]
+        if name is None:
+            for start, end, prefix in self._name_blocks:
+                if start <= index < end:
+                    name = f"{prefix}{index}"
+                    self._names[index] = name
+                    break
+        return name
 
     def fix(self, index: int, value: int) -> None:
         """Pin a variable to 0 or 1 (used for no-good style restrictions)."""
@@ -127,6 +156,43 @@ class BinaryProgram:
     def objective(self) -> dict[int, float]:
         return dict(self._objective)
 
+    @property
+    def n_constraints(self) -> int:
+        """Row count without materializing lazily-held CSR rows."""
+        return len(self._constraints)
+
+    @property
+    def constraints(self) -> list[Constraint]:
+        """All constraints as :class:`Constraint` objects.
+
+        Rows appended via :meth:`add_constraint_block` exist only in the
+        CSR until first touched here; accessing this property materializes
+        them (senses reconstructed from the row bounds).
+        """
+        if self._n_lazy:
+            self._materialize_lazy_rows()
+        return self._constraints
+
+    def _materialize_lazy_rows(self) -> None:
+        starts = self._csr_starts
+        indices = self._csr_indices
+        values = self._csr_values
+        for row, constraint in enumerate(self._constraints):
+            if constraint is not None:
+                continue
+            lower = self._csr_lower[row]
+            upper = self._csr_upper[row]
+            if lower == -np.inf:
+                sense, rhs = "<=", upper
+            elif upper == np.inf:
+                sense, rhs = ">=", lower
+            else:
+                sense, rhs = "=", upper
+            span = slice(starts[row], starts[row + 1])
+            packed = tuple(zip(indices[span].tolist(), values[span].tolist()))
+            self._constraints[row] = Constraint(packed, sense, float(rhs))
+        self._n_lazy = 0
+
     def add_constraint(
         self, coeffs: Mapping[int, float], sense: str, rhs: float
     ) -> None:
@@ -134,7 +200,59 @@ class BinaryProgram:
         packed = tuple(
             (int(index), float(coeff)) for index, coeff in coeffs.items() if coeff != 0.0
         )
-        self.constraints.append(Constraint(packed, sense, float(rhs)))
+        self._constraints.append(Constraint(packed, sense, float(rhs)))
+
+    def add_constraint_block(
+        self,
+        starts: np.ndarray,
+        indices: np.ndarray,
+        values: np.ndarray,
+        senses: np.ndarray,
+        rhs: np.ndarray,
+    ) -> None:
+        """Append many constraints at once from CSR arrays.
+
+        ``starts`` has one extra trailing entry (row ``i`` spans
+        ``indices[starts[i]:starts[i+1]]``); ``senses`` holds small-int
+        codes indexing :data:`SENSES` (0 = "<=", 1 = ">=", 2 = "=").
+        Coefficients must already be packed (no explicit zeros) — callers
+        are emitting machine-generated rows, not user input.  The rows land
+        directly in the CSR builder; Constraint objects are materialized
+        lazily on first access to :attr:`constraints`.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        senses = np.asarray(senses)
+        rhs = np.asarray(rhs, dtype=np.float64)
+        n_rows = starts.shape[0] - 1
+        if n_rows <= 0:
+            if n_rows < 0:
+                raise ILPError("constraint block needs at least the trailing start")
+            return
+        if senses.shape[0] != n_rows or rhs.shape[0] != n_rows:
+            raise ILPError("constraint block arrays disagree on the row count")
+        if int(starts[-1]) != indices.shape[0] or indices.shape[0] != values.shape[0]:
+            raise ILPError("constraint block starts/indices/values disagree")
+        if indices.size and (
+            int(indices.min()) < 0 or int(indices.max()) >= self.n_vars
+        ):
+            raise ILPError(
+                f"constraint block has variable indices outside [0, {self.n_vars})"
+            )
+        self._sync_rows_builder()
+        self._reserve_rows(n_rows, indices.shape[0])
+        nnz = self._csr_nnz
+        self._csr_indices[nnz : nnz + indices.shape[0]] = indices
+        self._csr_values[nnz : nnz + values.shape[0]] = values
+        row = self._rows_built
+        self._csr_starts[row + 1 : row + 1 + n_rows] = nnz + starts[1:]
+        self._csr_lower[row : row + n_rows] = np.where(senses == 0, -np.inf, rhs)
+        self._csr_upper[row : row + n_rows] = np.where(senses == 1, np.inf, rhs)
+        self._csr_nnz = nnz + indices.shape[0]
+        self._rows_built = row + n_rows
+        self._constraints.extend([None] * n_rows)
+        self._n_lazy += n_rows
 
     def _validate_indices(self, coeffs: Mapping[int, float]) -> None:
         for index in coeffs:
@@ -207,7 +325,10 @@ class BinaryProgram:
         self._rows_built = row + 1
 
     def _sync_rows_builder(self) -> None:
-        for constraint in self.constraints[self._rows_built :]:
+        # Everything below _rows_built is already in the CSR (including
+        # lazy block rows, which are born there); the tail is always made
+        # of real Constraint objects from add_constraint.
+        for constraint in self._constraints[self._rows_built :]:
             self._push_row(
                 np.asarray([index for index, _ in constraint.coeffs], dtype=np.int64),
                 np.asarray([coeff for _, coeff in constraint.coeffs], dtype=np.float64),
@@ -234,14 +355,14 @@ class BinaryProgram:
         nonzero = np.flatnonzero(values)
         packed = tuple(zip(nonzero.tolist(), values[nonzero].tolist()))
         self._sync_rows_builder()
-        self.constraints.append(Constraint(packed, sense, float(rhs)))
+        self._constraints.append(Constraint(packed, sense, float(rhs)))
         self._push_row(nonzero, values[nonzero], sense, float(rhs))
 
     def is_feasible(self, x, tol: float = 1e-6) -> bool:
         for index, value in self._fixed.items():
             if abs(float(x[index]) - value) > tol:
                 return False
-        if not self.constraints:
+        if not self._constraints:
             return True
         starts, indices, values, lower, upper = self.rows()
         x = np.asarray(x, dtype=np.float64)

@@ -107,21 +107,36 @@ class PersistentLP:
         self._n_rows_synced = lower.shape[0]
 
     def sync(self) -> None:
-        """Append constraint rows added to the program since construction."""
+        """Append constraint rows added to the program since construction.
+
+        All pending rows go down in one ``addRows`` call — the compiled
+        encoder emits constraints in blocks of thousands, and per-row
+        ``addRow`` round-trips through the bindings dominate otherwise.
+        """
         starts, indices, values, lower, upper = self.program.rows()
         n_rows = lower.shape[0]
-        if n_rows == self._n_rows_synced:
+        first = self._n_rows_synced
+        if n_rows == first:
             return
-        for row in range(self._n_rows_synced, n_rows):
-            lo, hi = lower[row], upper[row]
-            span = slice(starts[row], starts[row + 1])
-            self._highs.addRow(
-                -_highs_core.kHighsInf if np.isneginf(lo) else float(lo),
-                _highs_core.kHighsInf if np.isposinf(hi) else float(hi),
-                int(starts[row + 1] - starts[row]),
-                indices[span].astype(np.int32),
-                values[span],
-            )
+        lo = np.where(
+            np.isneginf(lower[first:n_rows]), -_highs_core.kHighsInf, lower[first:n_rows]
+        )
+        hi = np.where(
+            np.isposinf(upper[first:n_rows]), _highs_core.kHighsInf, upper[first:n_rows]
+        )
+        base = int(starts[first])
+        span = slice(base, int(starts[n_rows]))
+        status = self._highs.addRows(
+            n_rows - first,
+            np.asarray(lo, dtype=np.float64),
+            np.asarray(hi, dtype=np.float64),
+            int(starts[n_rows]) - base,
+            (starts[first:n_rows] - base).astype(np.int32),
+            indices[span].astype(np.int32),
+            values[span],
+        )
+        if status != _highs_core.HighsStatus.kOk:
+            raise ILPError("HiGHS rejected appended constraint rows")
         self._n_rows_synced = n_rows
 
     def solve_relaxation(

@@ -98,6 +98,10 @@ class NodePool:
         # label_id -> dense site-indexed table of atom node ids (-1 = none).
         self._atom_tables: dict[int, np.ndarray] = {}
         self._expr_cache: dict[int, object] = {}
+        # id(materialized expr) -> node id; the reverse of _expr_cache,
+        # registered first-come so aliased nodes map to their canonical
+        # representative (see node_for_expr).
+        self._expr_nodes: dict[int, int] = {}
         self._frozen: _FrozenPool | None = None
         # FALSE and TRUE constants.
         self._append_scalar(OP_CONST, value=0.0, is_bool=True)
@@ -550,11 +554,28 @@ class NodePool:
                 stack.append((current, True))
                 stack.extend((child, False) for child in children if child not in memo)
                 continue
-            memo[current] = self._materialize_one(current, children, memo)
+            obj = self._materialize_one(current, children, memo)
+            memo[current] = obj
+            # First-come registration: constant folding can alias several
+            # nodes to one shared object, and the lowest-index node — the
+            # first to materialize — is the canonical representative.
+            self._expr_nodes.setdefault(id(obj), current)
         return memo[int(node)]
 
     def to_exprs(self, nodes: Sequence[int]) -> list:
         return [self.to_expr(node) for node in nodes]
+
+    def node_for_expr(self, expr) -> int | None:
+        """The canonical pool node a materialized tree came from, if any.
+
+        Only trees produced by :meth:`to_expr` (and their subtrees) are
+        known; anything else returns ``None``.  Because registration is
+        first-come, every expression object maps to the lowest-index node
+        that materializes to it, giving a stable structural key shared by
+        all aliases — the ILP encoder uses this to dedup aux variables
+        across complaints.
+        """
+        return self._expr_nodes.get(id(expr))
 
     def _materialize_one(self, node: int, children: list[int], memo: dict):
         op = self._op[node]
@@ -594,6 +615,29 @@ class NodePool:
     def is_bool_node(self, node: int) -> bool:
         return self._is_bool[int(node)]
 
+    def linear_frontier_terms(
+        self, node: int
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """Decompose a ``Σ coeff·bool`` node into its non-linear frontier.
+
+        Returns ``(coeffs, child_nodes)`` when ``node`` is an ADD whose
+        children are all boolean — atoms, TRUE/FALSE, or compound AND/OR/NOT
+        conditions (the shape of COUNT cells and of SUM cells whose member
+        values folded away).  The children are the *frontier*: everything
+        above them is affine, everything below needs linearization.  Returns
+        ``None`` for non-ADD nodes or ADDs with numeric children.
+        """
+        node = int(node)
+        if self._op[node] != OP_ADD:
+            return None
+        start, end = self._child_start[node], self._child_end[node]
+        children = self._child[start:end]
+        is_bool = self._is_bool
+        if any(not is_bool[child] for child in children):
+            return None
+        coeffs = np.asarray(self._coeff[start:end], dtype=np.float64)
+        return coeffs, np.asarray(children, dtype=np.int64)
+
     def linear_atom_terms(
         self, node: int
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
@@ -604,17 +648,21 @@ class NodePool:
         cells — and ``None`` otherwise.  Consumers (the ILP encoder) can
         then build affine forms without materializing trees.
         """
-        node = int(node)
-        if self._op[node] != OP_ADD:
+        frontier = self.linear_frontier_terms(node)
+        if frontier is None:
             return None
-        start, end = self._child_start[node], self._child_end[node]
-        children = self._child[start:end]
+        coeffs, children = frontier
         op_list = self._op
-        if not children or any(op_list[child] != OP_ATOM for child in children):
+        if children.size == 0 or any(
+            op_list[child] != OP_ATOM for child in children.tolist()
+        ):
             return None
-        sites = np.asarray([self._site[child] for child in children], dtype=np.int64)
-        labels = np.asarray([self._label[child] for child in children], dtype=np.int64)
-        coeffs = np.asarray(self._coeff[start:end], dtype=np.float64)
+        sites = np.asarray(
+            [self._site[child] for child in children.tolist()], dtype=np.int64
+        )
+        labels = np.asarray(
+            [self._label[child] for child in children.tolist()], dtype=np.int64
+        )
         return coeffs, sites, labels
 
     # -- frozen view ----------------------------------------------------------------------
@@ -679,6 +727,7 @@ class _FrozenPool:
         self.labels = list(pool.labels)
         self._tape: list[tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]] | None = None
         self._level: np.ndarray | None = None
+        self._bool_structure: BoolStructure | None = None
 
     def tape(self) -> tuple[np.ndarray, list]:
         """``(level, steps)`` over the whole pool (children before parents)."""
@@ -712,6 +761,150 @@ class _FrozenPool:
         self._level = level
         self._tape = steps
         return level, steps
+
+    def bool_structure(self) -> "BoolStructure":
+        """Canonicalized boolean structure of the pool (cached per freeze).
+
+        :meth:`NodePool.to_expr` does not replay the raw CSR verbatim — its
+        ``prov.and_``/``or_``/``not_`` constructors fold constants, elide
+        single-child operators, splice same-op children, and collapse double
+        negation.  The ILP encoder must see exactly that *effective*
+        structure to stay bit-identical with the tree walk, so this pass
+        mirrors the folds bottom-up over the node arrays (index order is a
+        valid level order — children strictly precede parents):
+
+        - ``rep[i]`` is the canonical node ``i`` aliases to after folding
+          (``rep[i] == i`` for canonical nodes);
+        - canonical AND/OR nodes get an *effective* children CSR
+          (``eff_start``/``eff_end`` into ``eff_child``) holding their
+          flattened, constant-free, already-canonical operands (always ≥ 2).
+        """
+        if self._bool_structure is not None:
+            return self._bool_structure
+        # Fast path: folds only trigger on TRUE/FALSE children, same-op
+        # children (splice / double negation), or AND/OR arity < 2 — and
+        # with zero folds anywhere no node aliases, so the raw CSR IS the
+        # effective structure.  One vectorized scan decides.
+        bool_idx = np.flatnonzero((self.op >= OP_NOT) & (self.op <= OP_OR))
+        clean = True
+        if bool_idx.size:
+            k = self.child_end[bool_idx] - self.child_start[bool_idx]
+            flat = _flat_ranges(self.child_start[bool_idx], self.child_end[bool_idx])
+            kids = self.child[flat]
+            parent_op = np.repeat(self.op[bool_idx], k)
+            clean = (
+                not np.any((self.op[bool_idx] != OP_NOT) & (k < 2))
+                and not np.any(kids <= TRUE_NODE)
+                and not np.any(self.op[kids] == parent_op)
+            )
+        if clean:
+            self._bool_structure = BoolStructure(
+                rep=np.arange(self.op.shape[0], dtype=np.int64),
+                eff_start=self.child_start,
+                eff_end=self.child_end,
+                eff_child=self.child,
+            )
+            return self._bool_structure
+        op = self.op.tolist()
+        child_start = self.child_start.tolist()
+        child_end = self.child_end.tolist()
+        child = self.child.tolist()
+        n = len(op)
+        rep = list(range(n))
+        # Effective children accumulate straight into one flat list:
+        # canonical AND/OR nodes record their [start, end) slice of it,
+        # and same-op splices copy an earlier slice (children strictly
+        # precede parents, so a child's slice is final when read).
+        eff_start = [0] * n
+        eff_end = [0] * n
+        flat_all: list[int] = []
+        append = flat_all.append
+        extend = flat_all.extend
+        # Only NOT/AND/OR nodes can alias or grow effective children; the
+        # fold loop skips everything else (atoms, constants, arithmetic).
+        bool_nodes = np.flatnonzero(
+            (self.op >= OP_NOT) & (self.op <= OP_OR)
+        ).tolist()
+        for i in bool_nodes:
+            o = op[i]
+            if o == OP_NOT:
+                r = rep[child[child_start[i]]]
+                if r == TRUE_NODE:
+                    rep[i] = FALSE_NODE
+                elif r == FALSE_NODE:
+                    rep[i] = TRUE_NODE
+                elif op[r] == OP_NOT:
+                    # not_(NotExpr) returns the inner child.
+                    rep[i] = rep[child[child_start[r]]]
+                continue
+            absorbing = FALSE_NODE if o == OP_AND else TRUE_NODE
+            identity = TRUE_NODE if o == OP_AND else FALSE_NODE
+            start = len(flat_all)
+            dead = False
+            for c in child[child_start[i] : child_end[i]]:
+                r = rep[c]
+                if r == absorbing:
+                    dead = True
+                    break
+                if r == identity:
+                    continue
+                if op[r] == o:
+                    # Same-op canonical child: splice its (already
+                    # flattened) effective operands, as and_/or_ do.
+                    extend(flat_all[eff_start[r] : eff_end[r]])
+                else:
+                    append(r)
+            count = len(flat_all) - start
+            if dead:
+                rep[i] = absorbing
+                del flat_all[start:]
+            elif count == 0:
+                rep[i] = identity
+            elif count == 1:
+                rep[i] = flat_all[start]
+                del flat_all[start:]
+            else:
+                eff_start[i] = start
+                eff_end[i] = start + count
+        self._bool_structure = BoolStructure(
+            rep=np.asarray(rep, dtype=np.int64),
+            eff_start=np.asarray(eff_start, dtype=np.int64),
+            eff_end=np.asarray(eff_end, dtype=np.int64),
+            eff_child=np.asarray(flat_all, dtype=np.int64),
+            lists=(rep, eff_start, eff_end, flat_all),
+        )
+        return self._bool_structure
+
+
+class BoolStructure:
+    """Canonical boolean aliasing + effective-children CSR of a frozen pool."""
+
+    __slots__ = ("rep", "eff_start", "eff_end", "eff_child", "_lists")
+
+    def __init__(
+        self,
+        rep: np.ndarray,
+        eff_start: np.ndarray,
+        eff_end: np.ndarray,
+        eff_child: np.ndarray,
+        lists: tuple[list, list, list, list] | None = None,
+    ) -> None:
+        self.rep = rep
+        self.eff_start = eff_start
+        self.eff_end = eff_end
+        self.eff_child = eff_child
+        self._lists = lists
+
+    def lists(self) -> tuple[list, list, list, list]:
+        """``(rep, eff_start, eff_end, eff_child)`` as plain lists, cached."""
+        if self._lists is None:
+            self._lists = (
+                self.rep.tolist(),
+                self.eff_start.tolist(),
+                self.eff_end.tolist(),
+                self.eff_child.tolist(),
+            )
+        return self._lists
 
 
 class CompiledProvenance:

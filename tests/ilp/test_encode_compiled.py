@@ -1,0 +1,438 @@
+"""Compiled-vs-tree ILP encode equivalence on fig6-shaped join plans.
+
+The array-native :class:`CompiledILPEncoder` must produce the *same
+program* as the tree-walking golden reference — same variables in the
+same order, same constraint rows with the same coefficient order and
+right-hand sides — because constraint/variable order changes which tied
+optimum the solver enumerates first, and TwoStep removal orders must be
+bit-identical under ``REPRO_ILP_ENCODER``.  A seeded generator samples
+AND/OR-heavy predicates over an L ⋈ R equi-join (the MNIST-join shape of
+the paper's Figure 6) under selection / COUNT / grouped SUM-AVG shapes,
+and every sampled plan must agree on four levels:
+
+- the emitted :class:`BinaryProgram` (exact, up to variable *names*);
+- feasibility verdicts on sampled 0/1 assignments;
+- the optimal objective and the enumerated solution sequence;
+- end-to-end TwoStep removal orders.
+"""
+
+import numpy as np
+import pytest
+
+from repro.complaints import ComplaintCase, TupleComplaint, ValueComplaint
+from repro.core.rain import RainDebugger
+from repro.errors import ILPError
+from repro.ilp import (
+    ENCODER_ENV_VAR,
+    CompiledILPEncoder,
+    TiresiasEncoder,
+    enumerate_optima,
+    make_encoder,
+    resolve_ilp_encoder,
+)
+from repro.relational import (
+    Aggregate,
+    AggSpec,
+    BoolAnd,
+    BoolNot,
+    BoolOr,
+    Cmp,
+    Col,
+    Const,
+    Database,
+    Executor,
+    ModelPredict,
+    Filter,
+    Join,
+    Relation,
+    Scan,
+)
+
+SEEDS = list(range(8))
+
+
+@pytest.fixture(scope="module")
+def join_db():
+    from repro.ml import LogisticRegression
+
+    rng = np.random.default_rng(23)
+    n, d = 60, 4
+    X = rng.normal(size=(n, d))
+    w = np.asarray([1.5, -2.0, 0.5, 0.0])
+    y = (X @ w + 0.2 * rng.normal(size=n) > 0).astype(int)
+    model = LogisticRegression((0, 1), n_features=d, l2=1e-2)
+    model.fit(X, y, warm_start=False)
+
+    db = Database()
+    db.add_relation(
+        Relation(
+            "L",
+            {
+                "features": rng.normal(size=(24, d)),
+                "key": rng.integers(0, 6, size=24),
+            },
+        )
+    )
+    db.add_relation(
+        Relation(
+            "R",
+            {
+                "features": rng.normal(size=(16, d)),
+                "key": rng.integers(0, 6, size=16),
+                # Deliberately includes weights that are exactly 1.0 and
+                # pairs multiplying to exactly 1.0: the mul_() constant
+                # folds alias those product terms, which the compiled
+                # fresh-aux bookkeeping has to reproduce.
+                "weight": np.concatenate(
+                    [[1.0, 2.0, 0.5], np.linspace(1.0, 2.0, 13)]
+                ),
+            },
+        )
+    )
+    db.add_model("m", model)
+    return db
+
+
+def random_predicate(rng, depth):
+    if depth == 0:
+        leaf = int(rng.integers(4))
+        if leaf == 0:
+            return Cmp(
+                "=", ModelPredict("m", Col("L.features")), Const(int(rng.integers(2)))
+            )
+        if leaf == 1:
+            return Cmp(
+                "=", ModelPredict("m", Col("R.features")), Const(int(rng.integers(2)))
+            )
+        if leaf == 2:
+            return Cmp(
+                "=",
+                ModelPredict("m", Col("L.features")),
+                ModelPredict("m", Col("R.features")),
+            )
+        return Cmp("<", Col("R.weight"), Const(float(rng.uniform(0.5, 2.0))))
+    children = [
+        random_predicate(rng, depth - 1) for _ in range(int(rng.integers(2, 4)))
+    ]
+    kind = int(rng.integers(3))
+    if kind == 0:
+        return BoolAnd(children)
+    if kind == 1:
+        return BoolOr(children)
+    return BoolNot(children[0])
+
+
+def random_plan(rng):
+    joined = Join(
+        Scan("L", "L"), Scan("R", "R"), Cmp("=", Col("L.key"), Col("R.key"))
+    )
+    predicate = BoolAnd(
+        [
+            Cmp(
+                "=",
+                ModelPredict("m", Col("L.features")),
+                ModelPredict("m", Col("R.features")),
+            ),
+            random_predicate(rng, int(rng.integers(2, 4))),
+        ]
+    )
+    filtered = Filter(joined, predicate)
+    shape = int(rng.integers(3))
+    if shape == 0:
+        return filtered, "selection"
+    if shape == 1:
+        return (
+            Aggregate(filtered, (), [AggSpec("count", None, "count")]),
+            "count",
+        )
+    return (
+        Aggregate(
+            filtered,
+            ((Col("L.key"), "key"),),
+            [
+                AggSpec("count", None, "count"),
+                AggSpec("sum", Col("R.weight"), "total"),
+                AggSpec("avg", Col("R.weight"), "mean"),
+            ],
+        ),
+        "grouped",
+    )
+
+
+def complaints_for(rng, result, shape):
+    relation = result.relation
+    if len(relation) == 0:
+        return []
+    if shape == "selection":
+        rows = rng.choice(
+            len(relation), size=min(3, len(relation)), replace=False
+        )
+        return [TupleComplaint(row_index=int(row)) for row in rows]
+    if shape == "count":
+        current = float(relation.column("count")[0])
+        return [
+            ValueComplaint(column="count", op=">=", value=current + 1.0, row_index=0)
+        ]
+    out = []
+    for row in range(min(2, len(relation))):
+        count = float(relation.column("count")[row])
+        total = float(relation.column("total")[row])
+        mean = float(relation.column("mean")[row])
+        out.append(
+            ValueComplaint(column="count", op="<=", value=count - 1.0, row_index=row)
+        )
+        out.append(
+            ValueComplaint(column="total", op=">=", value=0.5 * total, row_index=row)
+        )
+        out.append(
+            ValueComplaint(column="mean", op="<=", value=mean + 0.1, row_index=row)
+        )
+    return out
+
+
+def program_signature(program):
+    return (
+        program.n_vars,
+        tuple(sorted(program.objective.items())),
+        program.objective_constant,
+        tuple(
+            (constraint.sense, constraint.rhs, tuple(constraint.coeffs))
+            for constraint in program.constraints
+        ),
+    )
+
+
+def build_encoders(join_db, seed):
+    rng = np.random.default_rng(seed)
+    plan, shape = random_plan(rng)
+    result = Executor(join_db).execute(plan, debug=True, provenance="compiled")
+    complaints = complaints_for(rng, result, shape)
+    if not complaints:
+        pytest.skip("sampled plan produced an empty relation")
+    tree = TiresiasEncoder(result)
+    compiled = CompiledILPEncoder(result)
+    for complaint in complaints:
+        tree.add_complaint(complaint)
+        compiled.add_complaint(complaint)
+    return tree, compiled, rng
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestCompiledVsTreeProgram:
+    def test_identical_program(self, join_db, seed):
+        tree, compiled, _ = build_encoders(join_db, seed)
+        assert program_signature(tree.program) == program_signature(
+            compiled.program
+        )
+
+    def test_same_feasible_set_on_sampled_assignments(self, join_db, seed):
+        tree, compiled, rng = build_encoders(join_db, seed)
+        n = tree.program.n_vars
+        assert compiled.program.n_vars == n
+        agreed_feasible = 0
+        for _ in range(64):
+            x = (rng.random(n) < 0.5).astype(float)
+            verdict = tree.program.is_feasible(x)
+            assert compiled.program.is_feasible(x) == verdict
+            agreed_feasible += int(verdict)
+        # Also probe assignments that satisfy the one-hot site rows, so
+        # some sampled points exercise the complaint/link rows.
+        for _ in range(16):
+            x = np.zeros(n)
+            for site_id in tree.site_ids:
+                labels = tree.classes_by_site[site_id]
+                pick = labels[int(rng.integers(len(labels)))]
+                x[tree.y_vars[(site_id, pick)]] = 1.0
+            assert tree.program.is_feasible(x) == compiled.program.is_feasible(x)
+
+    def test_identical_optima_enumeration(self, join_db, seed):
+        tree, compiled, _ = build_encoders(join_db, seed)
+        try:
+            tree_solutions = enumerate_optima(
+                tree.program, max_solutions=8, time_limit=20.0
+            )
+        except ILPError:
+            with pytest.raises(ILPError):
+                enumerate_optima(compiled.program, max_solutions=8, time_limit=20.0)
+            return
+        compiled_solutions = enumerate_optima(
+            compiled.program, max_solutions=8, time_limit=20.0
+        )
+        assert len(tree_solutions) == len(compiled_solutions)
+        for left, right in zip(tree_solutions, compiled_solutions):
+            assert left.objective == right.objective
+            assert np.array_equal(left.values, right.values)
+
+
+class TestCrossComplaintDedup:
+    def test_shared_subtrees_reuse_aux_vars(self, join_db):
+        rng = np.random.default_rng(5)
+        plan, _ = random_plan(rng)
+        while True:
+            result = Executor(join_db).execute(
+                plan, debug=True, provenance="compiled"
+            )
+            if result.groups is not None and len(result.relation) >= 1:
+                break
+            plan, _ = random_plan(rng)
+        count = float(result.relation.column("count")[0])
+        total = float(result.relation.column("total")[0])
+        encoder = CompiledILPEncoder(result)
+        encoder.add_complaint(
+            ValueComplaint(column="count", op="<=", value=count - 1.0, row_index=0)
+        )
+        created_first = encoder.aux_created
+        # The SUM cell is built over the same member conditions the COUNT
+        # complaint already linearized: the second complaint must reuse.
+        encoder.add_complaint(
+            ValueComplaint(column="total", op=">=", value=0.5 * total, row_index=0)
+        )
+        assert created_first > 0
+        assert encoder.aux_reused > 0
+
+    def test_tree_fallback_shares_cache_with_compiled_path(self, join_db):
+        rng = np.random.default_rng(5)
+        plan, _ = random_plan(rng)
+        while True:
+            result = Executor(join_db).execute(
+                plan, debug=True, provenance="compiled"
+            )
+            if result.groups is not None and len(result.relation) >= 1:
+                break
+            plan, _ = random_plan(rng)
+        count = float(result.relation.column("count")[0])
+        tree = TiresiasEncoder(result)
+        compiled = CompiledILPEncoder(result)
+        complaint = ValueComplaint(
+            column="count", op="<=", value=count - 1.0, row_index=0
+        )
+        tree.add_complaint(complaint)
+        compiled.add_complaint(complaint)
+        # Forcing the same complaint through the inherited tree walk on
+        # the compiled encoder must hit the shared node-id cache instead
+        # of allocating a second set of aux variables.
+        before = compiled.program.n_vars
+        TiresiasEncoder.add_complaint(compiled, complaint)
+        assert compiled.program.n_vars == before
+
+
+class TestTwoStepRemovalOrders:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_identical_removal_orders(self, join_db, seed):
+        rng = np.random.default_rng(seed)
+        while True:
+            plan, shape = random_plan(rng)
+            if shape != "selection":
+                break
+        result = Executor(join_db).execute(plan, debug=True, provenance="compiled")
+        complaints = complaints_for(rng, result, shape)
+        if not complaints:
+            pytest.skip("sampled plan produced an empty relation")
+        case = ComplaintCase(plan, complaints)
+        X = join_db.relation("L").column("features")
+        model = join_db.model("m")
+
+        def run_with(encoder_choice):
+            rng_fit = np.random.default_rng(100 + seed)
+            n, d = 40, 4
+            X_train = rng_fit.normal(size=(n, d))
+            y_train = (X_train @ np.asarray([1.5, -2.0, 0.5, 0.0]) > 0).astype(int)
+            params = model.get_params()
+            try:
+                debugger = RainDebugger(
+                    join_db,
+                    "m",
+                    X_train,
+                    y_train,
+                    [case],
+                    method="twostep",
+                    rng=seed,
+                    ranker_kwargs={
+                        "ilp_encoder": encoder_choice,
+                        "ambiguity_cap": 5,
+                        "time_limit": 20.0,
+                    },
+                    provenance="compiled",
+                )
+                report = debugger.run(max_removals=6, k_per_iteration=2)
+                return list(report.removal_order)
+            finally:
+                model.set_params(params)
+
+        assert run_with("tree") == run_with("compiled")
+        assert X.shape[1] == 4
+
+
+class TestEncoderKnob:
+    def test_default_is_compiled(self, monkeypatch):
+        monkeypatch.delenv(ENCODER_ENV_VAR, raising=False)
+        assert resolve_ilp_encoder() == "compiled"
+
+    def test_env_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv(ENCODER_ENV_VAR, "tree")
+        assert resolve_ilp_encoder() == "tree"
+
+    def test_explicit_choice_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENCODER_ENV_VAR, "tree")
+        assert resolve_ilp_encoder("compiled") == "compiled"
+
+    def test_invalid_choice_raises(self, monkeypatch):
+        monkeypatch.setenv(ENCODER_ENV_VAR, "nonsense")
+        with pytest.raises(ILPError):
+            resolve_ilp_encoder()
+
+    def test_make_encoder_dispatch(self, join_db, monkeypatch):
+        monkeypatch.delenv(ENCODER_ENV_VAR, raising=False)
+        rng = np.random.default_rng(1)
+        plan, _ = random_plan(rng)
+        executor = Executor(join_db)
+        compiled_result = executor.execute(plan, debug=True, provenance="compiled")
+        tree_result = executor.execute(plan, debug=True, provenance="tree")
+        assert isinstance(make_encoder(compiled_result), CompiledILPEncoder)
+        # Tree-mode results have no pool: always the tree walk.
+        encoder = make_encoder(tree_result)
+        assert type(encoder) is TiresiasEncoder
+        # The escape hatch forces the tree walk even on compiled results.
+        monkeypatch.setenv(ENCODER_ENV_VAR, "tree")
+        assert type(make_encoder(compiled_result)) is TiresiasEncoder
+
+
+class TestAuxCacheKeying:
+    def test_cache_pins_expressions_against_id_reuse(self, join_db):
+        """The aux cache must key unregistered exprs by pinned identity.
+
+        The old ``id(expr)`` keys did not keep the expression alive, so a
+        garbage-collected subtree could hand its id to a structurally
+        different one and silently merge the two.  ``_ExprKey`` holds a
+        strong reference: as long as a cache entry exists, its id cannot
+        be recycled.
+        """
+        import repro.relational.provenance as prov
+
+        from repro.ilp.encode import _ExprKey
+
+        a = prov.and_(prov.PredIs(0, 1), prov.PredIs(1, 1))
+        b = prov.and_(prov.PredIs(0, 1), prov.PredIs(1, 1))
+        assert _ExprKey(a) == _ExprKey(a)
+        assert hash(_ExprKey(a)) == hash(_ExprKey(a))
+        # Structurally equal but distinct objects stay distinct keys.
+        assert _ExprKey(a) != _ExprKey(b)
+        cache = {_ExprKey(a): "affine"}
+        assert cache.get(_ExprKey(a)) == "affine"
+        key = next(iter(cache))
+        assert key.expr is a  # strong reference pins the object
+
+    def test_pool_materialized_exprs_key_by_node_id(self, join_db):
+        rng = np.random.default_rng(2)
+        plan, shape = random_plan(rng)
+        result = Executor(join_db).execute(plan, debug=True, provenance="compiled")
+        if len(result.relation) == 0:
+            pytest.skip("sampled plan produced an empty relation")
+        encoder = TiresiasEncoder(result)
+        if result.groups is not None:
+            condition = result.groups[0].condition
+        else:
+            condition = result.tuple_condition(0)
+        key = encoder._aux_key(condition)
+        assert isinstance(key, (int, np.integer))
+        assert result.pool.node_for_expr(condition) == key

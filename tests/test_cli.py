@@ -17,7 +17,7 @@ class TestParser:
             build_parser().parse_args(["run", "fig99"])
 
     def test_every_experiment_registered(self):
-        assert len(EXPERIMENTS) == 17
+        assert len(EXPERIMENTS) == 19
         assert "async" in EXPERIMENTS
 
     def test_run_fast_experiment(self, capsys, tmp_path):
