@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli run fig3 --out results/
     python -m repro.cli run all --out results/
     python -m repro.cli serve --workers 4 --check
+    python -m repro.cli lint --strict
 
 ``serve`` runs the sharded multi-query serving layer on the multi-case
 Adult workload (one complaint case per aggregate group of Q6/Q7): it
@@ -98,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="re-run serially and verify the removal orders are identical",
     )
+    sub.add_parser(
+        "lint",
+        help="static determinism & invariant analysis; all arguments are "
+        "forwarded to `python -m repro.analysis` (e.g. --strict, "
+        "--list-rules, --update-golden, paths)",
+        add_help=False,
+    )
     return parser
 
 
@@ -151,6 +159,13 @@ def _serve(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # `lint` forwards everything (including option-like arguments, which
+    # argparse's subparsers would swallow) to the analyzer's own parser.
+    if argv[:1] == ["lint"]:
+        from .analysis.__main__ import main as analysis_main
+
+        return analysis_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
         width = max(len(name) for name in EXPERIMENTS)

@@ -39,32 +39,34 @@ pickling, no nondeterministic reduce.
 
 from __future__ import annotations
 
-import os
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis import knobs
 from ..complaints.complaint import ComplaintCase
 from ..errors import DebuggingError
 from ..relational.algebra import Plan
 from ..relational.executor import ExecutionCache, Executor, QueryResult
 
-WORKERS_ENV_VAR = "REPRO_N_WORKERS"
-ASYNC_ENV_VAR = "REPRO_ASYNC"
+# Back-compat aliases; the registry in repro.analysis.knobs is canonical.
+WORKERS_ENV_VAR = knobs.N_WORKERS.env_var
+ASYNC_ENV_VAR = knobs.ASYNC_PIPELINE.env_var
 
 
 def resolve_workers(n_workers: int | None) -> int:
     """Normalize the ``n_workers`` knob.
 
     ``None`` defers to the ``REPRO_N_WORKERS`` environment variable
-    (default ``0``); ``0`` means the serial loop, untouched; ``>= 1``
-    enables the sharded serving path (``1`` exercises it without real
+    (default ``0``, read through the :mod:`repro.analysis.knobs`
+    registry); ``0`` means the serial loop, untouched; ``>= 1`` enables
+    the sharded serving path (``1`` exercises it without real
     concurrency — useful for pinning shard/serial equivalence).
     """
     if n_workers is None:
-        raw = os.environ.get(WORKERS_ENV_VAR, "0")
+        raw = knobs.read("n_workers")
         try:
             n_workers = int(raw)
         except ValueError:
@@ -82,11 +84,12 @@ def resolve_async(async_pipeline: bool | None) -> bool:
 
     ``None`` defers to the ``REPRO_ASYNC`` environment variable (``"1"``
     enables the pipelined loop, ``"0"`` — the default — keeps the serial
-    loop); an explicit boolean wins over the environment.
+    loop; read through the :mod:`repro.analysis.knobs` registry); an
+    explicit boolean wins over the environment.
     """
     if async_pipeline is None:
-        raw = os.environ.get(ASYNC_ENV_VAR, "0")
-        if raw not in ("0", "1"):
+        raw = knobs.read("async_pipeline")
+        if raw not in knobs.ASYNC_PIPELINE.choices:
             raise DebuggingError(
                 f"{ASYNC_ENV_VAR}={raw!r} must be '0' or '1'"
             )

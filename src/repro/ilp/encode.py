@@ -33,11 +33,11 @@ compiled provenance).
 
 from __future__ import annotations
 
-import os
 from collections.abc import Sequence
 
 import numpy as np
 
+from ..analysis import knobs
 from ..complaints.complaint import (
     PredictionComplaint,
     TupleComplaint,
@@ -63,14 +63,16 @@ from .solver import ILPSolution
 
 Affine = tuple[dict[int, float], float]
 
-ENCODER_ENV_VAR = "REPRO_ILP_ENCODER"
-_ENCODER_CHOICES = ("compiled", "tree")
+# Back-compat aliases; the registry in repro.analysis.knobs is canonical.
+ENCODER_ENV_VAR = knobs.ILP_ENCODER.env_var
+_ENCODER_CHOICES = knobs.ILP_ENCODER.choices
 
 
 def resolve_ilp_encoder(choice: str | None = None) -> str:
-    """Resolve the encoder knob: explicit argument, else env var, else compiled."""
+    """Resolve the encoder knob: explicit argument, else the registered
+    ``REPRO_ILP_ENCODER`` environment knob, else compiled."""
     if choice is None:
-        choice = os.environ.get(ENCODER_ENV_VAR, "").strip() or "compiled"
+        choice = knobs.read("ilp_encoder").strip() or "compiled"
     if choice not in _ENCODER_CHOICES:
         raise ILPError(
             f"ilp_encoder must be one of {_ENCODER_CHOICES}, got {choice!r}"

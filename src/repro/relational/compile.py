@@ -559,6 +559,9 @@ class NodePool:
             # First-come registration: constant folding can alias several
             # nodes to one shared object, and the lowest-index node — the
             # first to materialize — is the canonical representative.
+            # repro: ignore[DET001] — sound: _expr_cache holds a strong
+            # reference to every materialized expr for the pool's lifetime,
+            # so an id in _expr_nodes can never be recycled while keyed.
             self._expr_nodes.setdefault(id(obj), current)
         return memo[int(node)]
 
@@ -575,6 +578,7 @@ class NodePool:
         all aliases — the ILP encoder uses this to dedup aux variables
         across complaints.
         """
+        # repro: ignore[DET001] — see to_expr: ids pinned by _expr_cache.
         return self._expr_nodes.get(id(expr))
 
     def _materialize_one(self, node: int, children: list[int], memo: dict):

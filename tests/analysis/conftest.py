@@ -1,0 +1,13 @@
+"""Fixtures for the static-analysis test suite."""
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    """The repository checkout this test file lives in."""
+    root = Path(__file__).resolve().parents[2]
+    assert (root / "src" / "repro").is_dir()
+    return root
